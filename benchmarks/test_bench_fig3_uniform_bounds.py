@@ -1,0 +1,35 @@
+"""Figure 3: analytical error/message bounds under uniform data.
+
+Closed-form evaluation; the benchmark times the bound computation and the
+test body asserts the figure's qualitative content: errors grow toward 1
+with N, the O(log N) budget dominates O(1) on error, and its message cost
+is a multi-fold saving over the baseline's N - 1.
+"""
+
+from repro.core.bounds import Budget, uniform_error_bound
+from repro.experiments import fig3
+
+MAX_NODES = 50
+
+
+def test_fig3_bounds(benchmark):
+    rows = benchmark(fig3.run, MAX_NODES)
+    print()
+    print(fig3.format_result(rows[:5] + rows[-5:]))
+
+    errors_t1 = [row.error_t1 for row in rows]
+    errors_tlog = [row.error_tlog for row in rows]
+    assert errors_t1 == sorted(errors_t1)
+    assert errors_t1[-1] > 0.9  # runs off toward 1 (Figure 3a)
+    for t1, tlog in zip(errors_t1, errors_tlog):
+        assert tlog <= t1 + 1e-12
+
+    final = rows[-1]
+    assert final.messages_t1 == 1.0
+    assert final.messages_baseline / final.messages_tlog > 3.0  # Figure 3b
+
+
+def test_bounds_match_closed_forms():
+    assert uniform_error_bound(20, Budget.CONSTANT) == 0.9
+    row = fig3.run(20)[-1]
+    assert row.error_t1 == 0.9

@@ -1,0 +1,25 @@
+"""Figure 4: analytical error bounds under Zipf(0.4) data.
+
+The figure's point (and this bench's assertion): under skew the O(log N)
+error bound flattens out as nodes are added instead of running to 1 as
+the uniform worst case does.
+"""
+
+from repro.experiments import fig4
+
+
+def test_fig4_bounds(benchmark):
+    rows = benchmark(fig4.run, 20, 0.4)
+    print()
+    print(fig4.format_result(rows))
+
+    olog = [row.error_olog for row in rows]
+    uniform = [row.uniform_error_olog for row in rows]
+    # The Zipf bound plateaus: its total growth over N=2..20 is small...
+    assert max(olog) - min(olog) < 0.35
+    # ...while the uniform bound keeps deteriorating past it.
+    assert uniform[-1] - uniform[0] > 0.3
+    assert olog[-1] < uniform[-1]
+    # O(1) captures less than O(log N) at every N.
+    for row in rows:
+        assert row.error_olog <= row.error_o1 + 1e-12

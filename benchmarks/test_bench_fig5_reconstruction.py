@@ -1,0 +1,30 @@
+"""Figure 5: per-value squared reconstruction errors of the stock stream.
+
+The paper's panels at W/1024, W/256 and W/64 coefficients: squared errors
+fall as the budget grows, and at kappa = 256 the bulk of values land
+under the 0.25 round-off threshold (near-lossless compression).
+"""
+
+from repro.experiments import fig5
+
+WINDOW = 8192
+
+
+def test_fig5_reconstruction_errors(benchmark):
+    series = benchmark(fig5.run, WINDOW)
+    print()
+    print(fig5.format_result(series))
+
+    by_kappa = {s.kappa: s for s in series}
+    assert set(by_kappa) == {1024, 256, 64}
+    # More coefficients -> smaller errors (left-to-right in the figure).
+    assert (
+        by_kappa[64].mean_squared_error
+        < by_kappa[256].mean_squared_error
+        < by_kappa[1024].mean_squared_error
+    )
+    # kappa = 256 is near-lossless: most squared errors below 0.25.
+    assert by_kappa[256].lossless_fraction > 0.75
+    assert by_kappa[256].mean_squared_error < 0.25
+    # kappa = 1024 is past the knee.
+    assert by_kappa[1024].mean_squared_error > 0.25

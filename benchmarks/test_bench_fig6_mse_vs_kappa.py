@@ -1,0 +1,25 @@
+"""Figure 6: mean-square error vs compression factor, 0.25 threshold line.
+
+The sweep that justifies "lossless DFT coefficient compression up to a
+factor of 256": E[MSE] grows monotonically with kappa and crosses the
+0.25 line right after kappa = 256 on the stock stream.
+"""
+
+from repro.experiments import fig6
+
+WINDOW = 8192
+KAPPAS = (4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+def test_fig6_mse_sweep(benchmark):
+    result = benchmark(fig6.run, WINDOW, KAPPAS)
+    print()
+    print(fig6.format_result(result))
+
+    means = [p.mean_mse for p in result.points]
+    assert means == sorted(means)  # error grows with compression
+    assert result.chosen_kappa == 256  # the paper's headline factor
+    below = [p for p in result.points if p.kappa <= 256]
+    above = [p for p in result.points if p.kappa > 256]
+    assert all(p.is_lossless for p in below)
+    assert all(not p.is_lossless for p in above)

@@ -1,0 +1,59 @@
+"""Result-latency comparison (the intro's "timely manner" requirement).
+
+Not a paper figure, but the quantity its motivating applications care
+about: how long after a pair physically exists does the system report
+it?  Local and shadow-window discoveries are instantaneous; the tail is
+set by forwarding delay, so BASE (which forwards everything immediately)
+has the freshest tail, while filtered algorithms trade a slightly longer
+tail -- and some misses -- for an order less traffic.
+"""
+
+from repro.config import Algorithm, PolicyConfig, SystemConfig, WorkloadConfig
+from repro.core.flow import FlowSettings
+from repro.core.system import run_experiment
+
+
+def _config(algorithm):
+    return SystemConfig(
+        num_nodes=6,
+        window_size=256,
+        policy=PolicyConfig(
+            algorithm=algorithm,
+            kappa=16,
+            flow=FlowSettings(budget_override=2.5),
+        ),
+        workload=WorkloadConfig(total_tuples=4000, domain=2048, arrival_rate=250.0),
+        seed=53,
+    )
+
+
+def test_latency_profile(benchmark):
+    def sweep():
+        return {
+            algorithm.value: run_experiment(_config(algorithm)).latency
+            for algorithm in (Algorithm.BASE, Algorithm.DFTT, Algorithm.BLOOM)
+        }
+
+    profiles = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("  algo   mean(ms)  p95(ms)  max(ms)  results")
+    for name, latency in profiles.items():
+        print(
+            "  %-5s  %8.2f  %7.2f  %7.1f  %7d"
+            % (
+                name,
+                1e3 * latency["mean"],
+                1e3 * latency["p95"],
+                1e3 * latency["max"],
+                latency["count"],
+            )
+        )
+
+    for latency in profiles.values():
+        # Every profile is physically sane: non-negative, sub-second tail
+        # at this light load (one link hop is 20-100 ms).
+        assert latency["mean"] >= 0.0
+        assert latency["max"] < 60.0
+        assert latency["count"] > 0
+    # The exact join reports the most pairs.
+    assert profiles["BASE"]["count"] >= profiles["DFTT"]["count"]

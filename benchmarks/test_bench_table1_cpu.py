@@ -1,0 +1,84 @@
+"""Table 1: CPU time of full DFT vs incremental DFT vs AGMS updates.
+
+Reproduces the paper's Table 1 shape: per-tuple full-DFT recomputation is
+one to two orders of magnitude more expensive than incremental
+maintenance, whose cost is comparable to AGMS sketch updates; all grow
+with the window size.
+"""
+
+import numpy as np
+import pytest
+
+from repro._rng import ensure_rng
+from repro.dft.sliding import SlidingDFT, low_frequency_bins
+from repro.dft.control import ControlVector
+from repro.experiments import table1
+from repro.sketches.agms import AgmsSketch, SketchShape
+
+WINDOW_GRID = (8_000, 25_000, 50_000, 100_000)
+KAPPA = 256
+UPDATES = 64
+
+
+@pytest.fixture(scope="module")
+def signal():
+    rng = ensure_rng(2007)
+    return rng.integers(1, 2**19, size=max(WINDOW_GRID) + UPDATES).astype(np.float64)
+
+
+@pytest.mark.parametrize("window", WINDOW_GRID)
+def test_full_dft_per_tuple(benchmark, signal, window):
+    """The "DFT" column: one full transform per arriving tuple."""
+    position = {"index": 0}
+
+    def one_update():
+        index = position["index"] % UPDATES
+        np.fft.fft(signal[index : index + window])
+        position["index"] += 1
+
+    benchmark(one_update)
+
+
+@pytest.mark.parametrize("window", WINDOW_GRID)
+def test_incremental_dft_per_tuple(benchmark, signal, window):
+    """The "iDFT" column: O(W/kappa) sliding update per tuple."""
+    bins = low_frequency_bins(window, max(1, window // KAPPA))
+    sliding = SlidingDFT(
+        window,
+        tracked_bins=bins,
+        control=ControlVector(recompute_interval=10**9, drift_bound=1.0),
+    )
+    sliding.extend(signal[:window])
+    position = {"index": window}
+
+    def one_update():
+        sliding.update(float(signal[position["index"] % len(signal)]))
+        position["index"] += 1
+
+    benchmark(one_update)
+
+
+@pytest.mark.parametrize("window", WINDOW_GRID)
+def test_agms_per_tuple(benchmark, signal, window):
+    """The "AGMS" column: one arrival + one eviction sketch update."""
+    shape = SketchShape.from_total(max(5, (window // KAPPA) * 5))
+    sketch = AgmsSketch(shape, rng=ensure_rng(7))
+    position = {"index": 0}
+
+    def one_update():
+        index = position["index"]
+        sketch.update(int(signal[(index + window) % len(signal)]), +1)
+        sketch.update(int(signal[index % len(signal)]), -1)
+        position["index"] += 1
+
+    benchmark(one_update)
+
+
+def test_table1_report():
+    """Print the measured table and assert the paper's ordering."""
+    rows = table1.run(windows=(8_000, 25_000), updates=40)
+    print()
+    print(table1.format_result(rows))
+    for row in rows:
+        assert row.full_dft_seconds > row.incremental_dft_seconds
+    assert rows[-1].full_dft_seconds > rows[0].full_dft_seconds

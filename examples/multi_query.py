@@ -1,0 +1,62 @@
+"""Several concurrent join queries on one shared deployment (Section 3).
+
+A real stream-processing platform rarely serves a single query: here one
+six-node system runs 1, 2, and 4 independent window joins at the same
+total offered load, so queries contend for node service time and the
+90 kbps sender budget.  The DFT summaries are per query (each query's
+streams have their own statistics) but piggy-back on whatever tuple
+traffic flows between a node pair, regardless of which query produced it.
+
+Run:  python examples/multi_query.py
+"""
+
+from repro import (
+    Algorithm,
+    PolicyConfig,
+    SystemConfig,
+    WorkloadConfig,
+    run_experiment,
+)
+
+
+def build_config(num_queries: int) -> SystemConfig:
+    return SystemConfig(
+        num_nodes=6,
+        window_size=192,
+        num_queries=num_queries,
+        policy=PolicyConfig(algorithm=Algorithm.DFTT, kappa=12),
+        workload=WorkloadConfig(
+            total_tuples=6_000,
+            domain=4_096,
+            arrival_rate=300.0,
+        ),
+        seed=73,
+    )
+
+
+def main() -> None:
+    print("queries  total eps  per-query eps            msgs/arrival  results/s")
+    for num_queries in (1, 2, 4):
+        result = run_experiment(build_config(num_queries))
+        per_query = ", ".join(
+            "%.2f" % entry["epsilon"] for entry in result.per_query
+        )
+        print(
+            "%7d  %9.3f  %-23s  %12.2f  %9.1f"
+            % (
+                num_queries,
+                result.epsilon,
+                per_query,
+                result.messages_per_arrival,
+                result.throughput,
+            )
+        )
+    print(
+        "\nSplitting the same offered load over more queries shrinks each"
+        "\nquery's windows' hit rate (fewer tuples per window per query)"
+        "\nbut the platform keeps every query inside its error envelope."
+    )
+
+
+if __name__ == "__main__":
+    main()

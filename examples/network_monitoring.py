@@ -1,0 +1,78 @@
+"""Tracking suspicious flows across network domains (Section 1's motif).
+
+Packet streams from multiple vantage points must be cross-referenced to
+follow flows that traverse several administrative domains: stream R is
+"packets entering" and stream S "packets leaving", joined on the flow
+identifier.  Eight monitoring nodes each observe a geographically biased
+slice of the traffic (heavy-hitter flows with long bursts).
+
+The example contrasts all four approximate algorithms at the same flow
+budget and shows the per-node contribution skew the correlation filtering
+exploits.
+
+Run:  python examples/network_monitoring.py
+"""
+
+from repro import (
+    Algorithm,
+    FlowSettings,
+    PolicyConfig,
+    SystemConfig,
+    WorkloadConfig,
+    WorkloadKind,
+)
+from repro.core.system import DistributedJoinSystem
+
+
+def build_config(algorithm: Algorithm) -> SystemConfig:
+    return SystemConfig(
+        num_nodes=8,
+        window_size=384,
+        policy=PolicyConfig(
+            algorithm=algorithm,
+            kappa=24,
+            flow=FlowSettings(budget_override=2.5),
+        ),
+        workload=WorkloadConfig(
+            kind=WorkloadKind.NETWORK,
+            total_tuples=8_000,
+            domain=4_096,
+            arrival_rate=250.0,
+            skew=0.9,
+        ),
+        seed=2025,
+    )
+
+
+def main() -> None:
+    print("Cross-domain flow join on synthetic packet traces (NWRK)\n")
+    print("algorithm  epsilon  msgs/result  msgs/arrival")
+    contribution = None
+    for algorithm in (Algorithm.DFT, Algorithm.DFTT, Algorithm.BLOOM, Algorithm.SKCH):
+        system = DistributedJoinSystem(build_config(algorithm))
+        result = system.run()
+        print(
+            "%-9s  %7.3f  %11.3f  %12.2f"
+            % (
+                algorithm.value,
+                result.epsilon,
+                result.messages_per_result_tuple,
+                result.messages_per_arrival,
+            )
+        )
+        if algorithm is Algorithm.DFTT:
+            contribution = system.oracle.per_node_contribution
+
+    print("\nTrue result contribution per monitoring node (DFTT run):")
+    total = sum(contribution.values()) or 1
+    for node in sorted(contribution):
+        share = contribution[node] / total
+        print("  node %d: %6.1f%%  %s" % (node, 100 * share, "#" * int(50 * share)))
+    print(
+        "\nThe skew above is what lets DFTT route each flow's packets to"
+        "\nthe few nodes that actually see the other direction of the flow."
+    )
+
+
+if __name__ == "__main__":
+    main()

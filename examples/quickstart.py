@@ -1,0 +1,56 @@
+"""Quickstart: an approximate distributed window join in ~20 lines.
+
+Six nodes each hold a segment of two streams R and S.  The DFTT policy
+exchanges compressed DFT coefficients, reconstructs approximations of the
+remote windows, and forwards each arriving tuple only to the peers
+estimated to hold matches.  Compare its cost and accuracy against the
+exact broadcast baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Algorithm,
+    PolicyConfig,
+    SystemConfig,
+    WorkloadConfig,
+    run_experiment,
+)
+
+
+def build_config(algorithm: Algorithm) -> SystemConfig:
+    return SystemConfig(
+        num_nodes=6,
+        window_size=256,
+        policy=PolicyConfig(algorithm=algorithm, kappa=16),
+        workload=WorkloadConfig(
+            total_tuples=6_000,
+            domain=4_096,
+            arrival_rate=200.0,
+        ),
+        seed=7,
+    )
+
+
+def main() -> None:
+    print("algorithm  epsilon  msgs/result  msgs/arrival  throughput/s")
+    for algorithm in (Algorithm.BASE, Algorithm.DFTT):
+        result = run_experiment(build_config(algorithm))
+        print(
+            "%-9s  %7.3f  %11.2f  %12.2f  %12.1f"
+            % (
+                algorithm.value,
+                result.epsilon,
+                result.messages_per_result_tuple,
+                result.messages_per_arrival,
+                result.throughput,
+            )
+        )
+    print(
+        "\nDFTT reports most of the exact result while transmitting a"
+        "\nfraction of BASE's messages -- the paper's headline trade-off."
+    )
+
+
+if __name__ == "__main__":
+    main()

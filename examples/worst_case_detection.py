@@ -1,0 +1,68 @@
+"""Detecting the uniform worst case (Section 5.2.2).
+
+Uniformly distributed joining attributes are the worst case for any
+distributed join: every peer is equally (un)likely to hold a match, so
+correlation-driven routing has nothing to exploit.  The paper's nodes
+detect this by watching the variance of their per-peer similarity
+coefficients and fall back to round-robin distribution.
+
+This example runs the DFT policy on a uniform and on a skewed workload
+and reports the detector's verdicts and the resulting accuracy.
+
+Run:  python examples/worst_case_detection.py
+"""
+
+from repro import (
+    Algorithm,
+    PolicyConfig,
+    SystemConfig,
+    WorkloadConfig,
+    WorkloadKind,
+)
+from repro.core.system import DistributedJoinSystem
+
+
+def build_config(kind: WorkloadKind) -> SystemConfig:
+    return SystemConfig(
+        num_nodes=6,
+        window_size=256,
+        policy=PolicyConfig(algorithm=Algorithm.DFT, kappa=16),
+        workload=WorkloadConfig(
+            kind=kind,
+            total_tuples=6_000,
+            domain=4_096,
+            arrival_rate=250.0,
+            # Uniform data additionally gets uniform placement: no
+            # geography at all, the true worst case.
+            skew=0.0 if kind is WorkloadKind.UNIFORM else 0.85,
+        ),
+        seed=5,
+    )
+
+
+def main() -> None:
+    for kind in (WorkloadKind.UNIFORM, WorkloadKind.ZIPF):
+        system = DistributedJoinSystem(build_config(kind))
+        result = system.run()
+        detections = sum(
+            d.get("uniform_detections", 0) for d in result.node_diagnostics.values()
+        )
+        fallbacks = sum(
+            d.get("fallback_decisions", 0) for d in result.node_diagnostics.values()
+        )
+        print("workload %-4s:" % kind.value)
+        print("  worst-case detections: %d" % detections)
+        print("  round-robin fallback decisions: %d" % fallbacks)
+        print("  epsilon: %.3f   msgs/arrival: %.2f" % (
+            result.epsilon, result.messages_per_arrival))
+        print()
+    print(
+        "Under uniform data the similarity variance collapses and the nodes"
+        "\nspend most decisions in the round-robin fallback; under skewed"
+        "\ndata the correlation signal stays informative and the detector"
+        "\nfires only sporadically."
+    )
+
+
+if __name__ == "__main__":
+    main()

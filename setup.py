@@ -1,0 +1,11 @@
+"""Setup shim.
+
+Metadata lives in pyproject.toml; this file exists so that legacy
+(``--no-use-pep517``) editable installs work on environments without the
+``wheel`` package (PEP 660 editable wheels need it, ``setup.py develop``
+does not).
+"""
+
+from setuptools import setup
+
+setup()

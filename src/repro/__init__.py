@@ -1,0 +1,71 @@
+"""repro: approximate data stream joins in distributed systems.
+
+A from-scratch reproduction of Kriakov, Delis & Kollios (ICDCS 2007):
+sliding-window equijoins over streams partitioned across N nodes, with
+inter-node communication throttled per node-pair using statistics derived
+from incrementally-updated DFTs of the joining attributes.
+
+Quickstart::
+
+    from repro import Algorithm, PolicyConfig, SystemConfig, WorkloadConfig
+    from repro import run_experiment
+
+    config = SystemConfig(
+        num_nodes=6,
+        window_size=256,
+        policy=PolicyConfig(algorithm=Algorithm.DFTT, kappa=16),
+        workload=WorkloadConfig(total_tuples=5_000),
+        seed=7,
+    )
+    result = run_experiment(config)
+    print(result.epsilon, result.messages_per_result_tuple)
+
+The packages underneath are usable on their own: :mod:`repro.dft`
+(sliding DFTs, reconstruction), :mod:`repro.sketches` (AGMS),
+:mod:`repro.bloom` (counting Bloom filters), :mod:`repro.net` (the
+discrete-event WAN), :mod:`repro.streams` (workloads and windows), and
+:mod:`repro.experiments` (the per-figure harnesses).
+"""
+
+from repro.config import (
+    Algorithm,
+    PolicyConfig,
+    SystemConfig,
+    WorkloadConfig,
+    WorkloadKind,
+)
+from repro.core.flow import FlowController, FlowSettings
+from repro.core.correlation import SimilarityMeasure
+from repro.core.results import RunResult
+from repro.core.system import DistributedJoinSystem, run_experiment
+from repro.errors import (
+    CalibrationError,
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+    SummaryError,
+    WindowError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Algorithm",
+    "PolicyConfig",
+    "SystemConfig",
+    "WorkloadConfig",
+    "WorkloadKind",
+    "SimilarityMeasure",
+    "FlowController",
+    "FlowSettings",
+    "RunResult",
+    "DistributedJoinSystem",
+    "run_experiment",
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "SummaryError",
+    "WindowError",
+    "CalibrationError",
+    "__version__",
+]

@@ -1,0 +1,45 @@
+"""Deterministic random-number plumbing.
+
+All stochastic components of the library accept an explicit
+:class:`numpy.random.Generator`.  Experiments create one *root* generator
+from a seed and derive independent child generators for each component
+(stream generators, network latency, forwarding decisions, ...) with
+:func:`spawn`.  Children are derived with ``Generator.spawn`` when available
+and via ``SeedSequence`` otherwise, so results are reproducible bit-for-bit
+for a given seed regardless of call ordering between components.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    ``None`` produces a generator seeded from fresh OS entropy, an ``int``
+    seeds a new generator, and an existing generator is returned unchanged.
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def spawn(rng: np.random.Generator, count: int) -> list:
+    """Derive ``count`` statistically independent child generators."""
+    if count < 0:
+        raise ValueError("count must be non-negative, got %d" % count)
+    try:
+        return list(rng.spawn(count))
+    except AttributeError:  # numpy < 1.25: spawn via the bit generator's seed seq
+        seed_seq = rng.bit_generator._seed_seq  # noqa: SLF001 - numpy-sanctioned
+        return [np.random.default_rng(child) for child in seed_seq.spawn(count)]
+
+
+def child(rng: np.random.Generator) -> np.random.Generator:
+    """Derive a single child generator (convenience over :func:`spawn`)."""
+    return spawn(rng, 1)[0]

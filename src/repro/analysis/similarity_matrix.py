@@ -1,0 +1,38 @@
+"""Extract the live similarity beliefs of a running system.
+
+Each DFT-family node holds, per stream, its current similarity estimate
+toward every peer; the matrix view makes the learned geography visible
+(and is what the worst-case detector's variance is computed over).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.system import DistributedJoinSystem
+from repro.errors import ConfigurationError
+from repro.streams.tuples import StreamId
+
+
+def similarity_matrix(
+    system: DistributedJoinSystem, stream: StreamId = StreamId.R
+) -> np.ndarray:
+    """N x N matrix of node i's similarity estimate toward node j.
+
+    Row i holds node i's beliefs; the diagonal is 1 by convention.  Only
+    policies exposing ``peer_similarities`` (DFT, DFTT, SKCH) qualify.
+    """
+    nodes = system.nodes
+    if not nodes:
+        raise ConfigurationError("system has no nodes")
+    if not hasattr(nodes[0].policy, "peer_similarities"):
+        raise ConfigurationError(
+            "policy %r does not expose peer similarities" % nodes[0].policy.name
+        )
+    n = len(nodes)
+    matrix = np.ones((n, n), dtype=np.float64)
+    for node in nodes:
+        similarities = node.policy.peer_similarities(stream)
+        for peer, value in similarities.items():
+            matrix[node.node_id, peer] = value
+    return matrix

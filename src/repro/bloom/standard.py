@@ -1,0 +1,90 @@
+"""Standard (bit) Bloom filter.
+
+Membership testing with no false negatives and a tunable false-positive
+rate.  Hash positions come from the classic double-hashing scheme
+``position_i = (h1 + i * h2) mod m`` (Kirsch & Mitzenmacher), with h1/h2
+drawn from an explicit 4-wise independent family so runs are deterministic
+under a seed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro._rng import ensure_rng
+from repro.errors import SummaryError
+from repro.sketches.hashing import FourWiseHashFamily
+
+
+def optimal_num_hashes(num_bits: int, expected_items: int) -> int:
+    """The k minimizing false positives: ``(m/n) ln 2``, at least 1."""
+    if num_bits < 1 or expected_items < 1:
+        raise SummaryError("num_bits and expected_items must be >= 1")
+    return max(1, round(num_bits / expected_items * math.log(2)))
+
+
+class BloomFilter:
+    """Fixed-size bit-array Bloom filter."""
+
+    def __init__(
+        self,
+        num_bits: int,
+        num_hashes: int,
+        hashes: Optional[FourWiseHashFamily] = None,
+        rng=None,
+    ) -> None:
+        if num_bits < 1:
+            raise SummaryError("num_bits must be >= 1")
+        if num_hashes < 1:
+            raise SummaryError("num_hashes must be >= 1")
+        self.num_bits = num_bits
+        self.num_hashes = num_hashes
+        # Two hash rows feed double hashing for any number of probes.
+        self._hashes = hashes if hashes is not None else FourWiseHashFamily(
+            2, rng=ensure_rng(rng)
+        )
+        if self._hashes.rows < 2:
+            raise SummaryError("double hashing needs a 2-row hash family")
+        self._bits = np.zeros(num_bits, dtype=bool)
+        self.items_added = 0
+
+    def spawn_compatible(self) -> "BloomFilter":
+        """Empty filter sharing this filter's hash functions."""
+        return BloomFilter(self.num_bits, self.num_hashes, hashes=self._hashes)
+
+    def _positions(self, key: int) -> np.ndarray:
+        raw = self._hashes.raw(key)
+        h1, h2 = int(raw[0]), int(raw[1]) | 1  # odd step hits all positions
+        probes = (h1 + np.arange(self.num_hashes, dtype=np.int64) * h2) % self.num_bits
+        return probes
+
+    def add(self, key: int) -> None:
+        self._bits[self._positions(key)] = True
+        self.items_added += 1
+
+    def update(self, keys: Iterable[int]) -> None:
+        for key in keys:
+            self.add(key)
+
+    def __contains__(self, key: int) -> bool:
+        return bool(self._bits[self._positions(key)].all())
+
+    def fill_ratio(self) -> float:
+        """Fraction of set bits (the false-positive driver)."""
+        return float(self._bits.mean())
+
+    def false_positive_rate(self) -> float:
+        """Estimated FP probability from the current fill ratio."""
+        return self.fill_ratio() ** self.num_hashes
+
+    def serialized_entries(self, bits_per_entry: int = 160) -> int:
+        """Summary entries this filter occupies on the wire.
+
+        Entries are the common summary currency (one entry = one
+        20-byte = 160-bit coefficient slot), so all algorithms' summaries
+        can be sized identically as Section 6 requires.
+        """
+        return max(1, math.ceil(self.num_bits / bits_per_entry))

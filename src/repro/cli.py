@@ -1,0 +1,154 @@
+"""Command-line interface: run one distributed-join experiment.
+
+Usage::
+
+    python -m repro --algorithm DFTT --nodes 8 --workload ZIPF \
+        --tuples 8000 --window 512 --kappa 64 --seed 7
+
+Prints the headline metrics (epsilon, messages per result tuple,
+throughput, overhead) and, with ``--verbose``, the per-node diagnostics.
+The figure/table reproductions have their own entry point:
+``python -m repro.experiments.report``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.config import (
+    Algorithm,
+    PolicyConfig,
+    SystemConfig,
+    WindowKind,
+    WorkloadConfig,
+    WorkloadKind,
+)
+from repro.core.flow import FlowSettings
+from repro.core.system import run_experiment
+from repro.errors import ReproError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Approximate distributed stream joins (ICDCS 2007 reproduction)",
+    )
+    parser.add_argument(
+        "--algorithm",
+        default="DFTT",
+        choices=[a.value for a in Algorithm],
+        help="forwarding algorithm (default: DFTT)",
+    )
+    parser.add_argument("--nodes", type=int, default=6, help="number of nodes")
+    parser.add_argument("--window", type=int, default=256, help="window size (tuples)")
+    parser.add_argument(
+        "--window-seconds",
+        type=float,
+        default=0.0,
+        help="use time-based windows of this many simulated seconds",
+    )
+    parser.add_argument(
+        "--workload",
+        default="ZIPF",
+        choices=[w.value for w in WorkloadKind],
+        help="workload kind (default: ZIPF)",
+    )
+    parser.add_argument("--tuples", type=int, default=6000, help="total tuples")
+    parser.add_argument("--domain", type=int, default=4096, help="key domain size")
+    parser.add_argument("--alpha", type=float, default=0.4, help="Zipf skew")
+    parser.add_argument("--rate", type=float, default=250.0, help="arrivals per second")
+    parser.add_argument("--kappa", type=float, default=16.0, help="compression factor")
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=0.0,
+        help="flow budget T_i override (default: log2 N)",
+    )
+    parser.add_argument("--skew", type=float, default=0.85, help="geographic skew")
+    parser.add_argument("--loss", type=float, default=0.0, help="message loss rate")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    parser.add_argument("--verbose", action="store_true", help="per-node diagnostics")
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> SystemConfig:
+    """Translate parsed CLI arguments into a :class:`SystemConfig`."""
+    from repro.net.link import LinkSpec
+    import math
+
+    window_kind = WindowKind.TIME if args.window_seconds > 0 else WindowKind.COUNT
+    return SystemConfig(
+        num_nodes=args.nodes,
+        window_size=args.window,
+        window_kind=window_kind,
+        window_seconds=args.window_seconds,
+        policy=PolicyConfig(
+            algorithm=Algorithm(args.algorithm),
+            kappa=args.kappa,
+            flow=FlowSettings(budget_override=args.budget),
+        ),
+        workload=WorkloadConfig(
+            kind=WorkloadKind(args.workload),
+            total_tuples=args.tuples,
+            domain=args.domain,
+            alpha=args.alpha,
+            arrival_rate=args.rate,
+            skew=args.skew,
+        ),
+        link=LinkSpec(
+            bandwidth_bps=math.inf,
+            loss_probability=args.loss,
+        ),
+        seed=args.seed,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        config = config_from_args(args)
+        config.validate()
+        result = run_experiment(config)
+    except ReproError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+
+    if args.json:
+        payload = {
+            "config": result.config,
+            "metrics": result.summary(),
+            "messages_by_kind": result.messages_by_kind,
+        }
+        if args.verbose:
+            payload["node_diagnostics"] = {
+                str(node): diag for node, diag in result.node_diagnostics.items()
+            }
+        print(json.dumps(payload, indent=2, default=float))
+        return 0
+
+    print("algorithm        %s" % result.config["algorithm"])
+    print("nodes            %s" % result.config["num_nodes"])
+    print("workload         %s (%s tuples)" % (
+        result.config["workload"], result.config["total_tuples"]))
+    print("epsilon          %.4f" % result.epsilon)
+    print("exact pairs      %d" % result.truth_pairs)
+    print("reported pairs   %d" % result.reported_pairs)
+    print("msgs/result      %.3f" % result.messages_per_result_tuple)
+    print("msgs/arrival     %.3f" % result.messages_per_arrival)
+    print("throughput       %.1f results/s" % result.throughput)
+    print("summary overhead %.2f%%" % (100 * result.summary_overhead_fraction))
+    print("simulated time   %.1f s" % result.duration_seconds)
+    if args.verbose:
+        for node, diagnostics in sorted(result.node_diagnostics.items()):
+            print("node %d:" % node)
+            for key, value in sorted(diagnostics.items()):
+                print("  %-28s %g" % (key, value))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,274 @@
+"""Experiment and system configuration.
+
+Three frozen dataclasses describe a complete run:
+
+* :class:`PolicyConfig` -- which forwarding algorithm runs at the nodes and
+  its knobs (compression factor, flow budget, summary cadence);
+* :class:`WorkloadConfig` -- what data arrives, how fast, and how
+  geographically skewed its placement is;
+* :class:`SystemConfig` -- how many nodes, window sizes, the WAN link
+  model, and the node service-time model.
+
+Everything is serializable to plain dictionaries (``as_dict``) so results
+can echo the exact configuration that produced them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.correlation import SimilarityMeasure
+from repro.core.flow import FlowSettings
+from repro.errors import ConfigurationError
+from repro.net.link import LinkSpec
+
+
+class Algorithm(enum.Enum):
+    """The forwarding algorithms compared in Section 6."""
+
+    BASE = "BASE"
+    ROUND_ROBIN = "RR"
+    DFT = "DFT"
+    DFTT = "DFTT"
+    BLOOM = "BLOOM"
+    SKCH = "SKCH"
+
+
+class WorkloadKind(enum.Enum):
+    """The four workloads of Section 6, plus user-supplied trace replay."""
+
+    UNIFORM = "UNI"
+    ZIPF = "ZIPF"
+    FINANCIAL = "FIN"
+    NETWORK = "NWRK"
+    REPLAY = "REPLAY"
+
+
+class WindowKind(enum.Enum):
+    """Window definitions of Section 2 supported by the runtime.
+
+    The algorithms are agnostic to the definition (the paper evaluates
+    with tuple-count windows, as do our experiments); the runtime also
+    supports time-based windows end-to-end.  DFT summaries always cover
+    the most recent ``window_size`` tuples -- for a time window that is an
+    approximation whose quality degrades only if the window population
+    wanders far from ``window_size``.
+    """
+
+    COUNT = "count"
+    TIME = "time"
+    LANDMARK = "landmark"
+
+
+@dataclass(frozen=True)
+class PolicyConfig:
+    """Per-node forwarding-policy parameters."""
+
+    algorithm: Algorithm = Algorithm.DFTT
+    flow: FlowSettings = field(default_factory=FlowSettings)
+    similarity: SimilarityMeasure = SimilarityMeasure.DISTRIBUTION
+    kappa: float = 256.0
+    """Compression factor: the summary budget is max(1, W / kappa) entries."""
+
+    summary_refresh_interval: int = 32
+    """Local arrivals between summary delta recomputations/broadcasts."""
+
+    delta_tolerance: float = 0.05
+    """Relative change below which a DFT coefficient is not re-sent."""
+
+    bloom_hashes: int = 4
+    sketch_ratio: int = 5
+    sketch_variant: str = "plain"
+    """"plain" (AGMS, every counter per update) or "fast" (Fast-AGMS /
+    count-sketch structure, one counter per row per update)."""
+    explore_probability: float = 0.05
+    """DFTT/BLOOM: chance of probing one extra peer beyond the evidence."""
+
+    def validate(self) -> None:
+        if self.kappa < 1:
+            raise ConfigurationError("kappa must be >= 1")
+        if self.summary_refresh_interval < 1:
+            raise ConfigurationError("summary_refresh_interval must be >= 1")
+        if self.delta_tolerance < 0:
+            raise ConfigurationError("delta_tolerance must be non-negative")
+        if self.bloom_hashes < 1:
+            raise ConfigurationError("bloom_hashes must be >= 1")
+        if self.sketch_ratio < 1:
+            raise ConfigurationError("sketch_ratio must be >= 1")
+        if self.sketch_variant not in ("plain", "fast"):
+            raise ConfigurationError(
+                "sketch_variant must be 'plain' or 'fast', got %r"
+                % (self.sketch_variant,)
+            )
+        if not 0.0 <= self.explore_probability <= 1.0:
+            raise ConfigurationError("explore_probability must lie in [0, 1]")
+
+    def summary_budget(self, window_size: int) -> int:
+        """Summary entries per broadcast: W / kappa, at least 1."""
+        return max(1, int(window_size / self.kappa))
+
+    def with_overrides(self, **changes) -> "PolicyConfig":
+        """Functional update (used by calibration searches)."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Data and arrival-process parameters."""
+
+    kind: WorkloadKind = WorkloadKind.ZIPF
+    total_tuples: int = 20_000
+    domain: int = 2**13
+    alpha: float = 0.4
+    arrival_rate: float = 400.0
+    """System-wide tuple arrivals per simulated second (both streams)."""
+
+    skew: float = 0.85
+    spread: float = 0.35
+    """Geographic placement parameters (see GeographicPartitioner)."""
+
+    trace_path: str = ""
+    """REPLAY workloads: path to the key trace (text or .npy); see
+    :mod:`repro.streams.replay`.  Keys must fit inside ``domain``."""
+
+    permute_zipf_ranks: bool = True
+    """Shuffle the ZIPF rank-to-key mapping so popularity is spread across
+    the key domain.  Every node then owns its *own* hot keys (balanced
+    load, geographically pinned attributes) -- the regime the paper calls
+    "geographic skew in the joining attributes".  Without it the hottest
+    keys all live in one node's range and load collapses onto that node."""
+
+    def validate(self) -> None:
+        if self.total_tuples < 1:
+            raise ConfigurationError("total_tuples must be >= 1")
+        if self.domain < 2:
+            raise ConfigurationError("domain must be >= 2")
+        if self.alpha < 0:
+            raise ConfigurationError("alpha must be non-negative")
+        if self.arrival_rate <= 0:
+            raise ConfigurationError("arrival_rate must be positive")
+        if not 0.0 <= self.skew <= 1.0:
+            raise ConfigurationError("skew must lie in [0, 1]")
+        if not 0.0 <= self.spread < 1.0:
+            raise ConfigurationError("spread must lie in [0, 1)")
+        if self.kind is WorkloadKind.REPLAY and not self.trace_path:
+            raise ConfigurationError("REPLAY workloads require trace_path")
+        if self.kind is not WorkloadKind.REPLAY and self.trace_path:
+            raise ConfigurationError("trace_path is only valid for REPLAY")
+
+    def with_overrides(self, **changes) -> "WorkloadConfig":
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Complete description of one simulated run."""
+
+    num_nodes: int = 4
+    window_size: int = 512
+    policy: PolicyConfig = field(default_factory=PolicyConfig)
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    link: LinkSpec = field(default_factory=lambda: LinkSpec(bandwidth_bps=math.inf))
+    """Links carry latency only by default; bandwidth is sender-paced below,
+    mirroring the paper's emulation (the *sender* pauses per 90 kilobits)."""
+
+    sender_paced_bps: float = 90_000.0
+    cpu_seconds_per_tuple: float = 0.0002
+    cpu_seconds_per_probe: float = 0.00005
+    summary_flush_multiple: float = 8.0
+    """A standalone summary goes to a peer not contacted for this multiple
+    of the node's mean inter-arrival time (Figure 7's dynamic period)."""
+
+    shadow_window_size: Optional[int] = None
+    """Per-origin capacity of the remote-copy shadow windows (defaults to
+    window_size, aligning a copy's lifetime with its origin window)."""
+
+    num_queries: int = 1
+    """Concurrent independent join queries (Section 3's multi-query
+    setting).  Each query joins its own R/S stream pair; all queries share
+    the nodes, their service capacity, and the WAN links, so they contend
+    for exactly the resources the paper's throughput analysis is about.
+    The workload's total_tuples and arrival_rate are split evenly."""
+
+    window_kind: "WindowKind" = None  # type: ignore[assignment]
+    """COUNT (default) or TIME windows; see :class:`WindowKind`."""
+
+    window_seconds: float = 0.0
+    """Span of TIME windows in simulated seconds (required for TIME)."""
+
+    landmark_key: int = 0
+    """LANDMARK windows: observing this joining-attribute value resets the
+    window (Section 2's "until a specific tuple is observed").  The window
+    is additionally capped at window_size tuples between landmarks."""
+
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.window_kind is None:
+            object.__setattr__(self, "window_kind", WindowKind.COUNT)
+
+    def validate(self) -> None:
+        if self.num_nodes < 2:
+            raise ConfigurationError("num_nodes must be >= 2")
+        if self.window_size < 1:
+            raise ConfigurationError("window_size must be >= 1")
+        if self.sender_paced_bps <= 0:
+            raise ConfigurationError("sender_paced_bps must be positive")
+        if self.cpu_seconds_per_tuple < 0 or self.cpu_seconds_per_probe < 0:
+            raise ConfigurationError("CPU costs must be non-negative")
+        if self.summary_flush_multiple <= 0:
+            raise ConfigurationError("summary_flush_multiple must be positive")
+        if self.shadow_window_size is not None and self.shadow_window_size < 1:
+            raise ConfigurationError("shadow_window_size must be >= 1")
+        if self.num_queries < 1:
+            raise ConfigurationError("num_queries must be >= 1")
+        if self.workload.total_tuples < self.num_queries:
+            raise ConfigurationError("need at least one tuple per query")
+        if self.window_kind is WindowKind.TIME and self.window_seconds <= 0:
+            raise ConfigurationError("TIME windows require window_seconds > 0")
+        if self.window_kind is not WindowKind.TIME and self.window_seconds:
+            raise ConfigurationError("window_seconds is only valid for TIME windows")
+        if self.window_kind is WindowKind.LANDMARK and not (
+            1 <= self.landmark_key <= self.workload.domain
+        ):
+            raise ConfigurationError(
+                "LANDMARK windows require landmark_key inside the key domain"
+            )
+        if self.window_kind is not WindowKind.LANDMARK and self.landmark_key:
+            raise ConfigurationError(
+                "landmark_key is only valid for LANDMARK windows"
+            )
+        self.policy.validate()
+        self.workload.validate()
+        self.link.validate()
+
+    @property
+    def effective_shadow_window(self) -> int:
+        return self.shadow_window_size or self.window_size
+
+    def with_overrides(self, **changes) -> "SystemConfig":
+        return dataclasses.replace(self, **changes)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat, JSON-friendly echo of the configuration."""
+        return {
+            "num_nodes": self.num_nodes,
+            "window_size": self.window_size,
+            "algorithm": self.policy.algorithm.value,
+            "kappa": self.policy.kappa,
+            "similarity": self.policy.similarity.value,
+            "budget_fraction": self.policy.flow.budget_fraction,
+            "budget_override": self.policy.flow.budget_override,
+            "workload": self.workload.kind.value,
+            "total_tuples": self.workload.total_tuples,
+            "domain": self.workload.domain,
+            "alpha": self.workload.alpha,
+            "arrival_rate": self.workload.arrival_rate,
+            "skew": self.workload.skew,
+            "spread": self.workload.spread,
+            "seed": self.seed,
+        }

@@ -1,0 +1,86 @@
+"""Analytical error and message-complexity bounds (Theorems 1-3).
+
+These closed forms generate Figures 3 and 4.  ``log`` means log base 2
+throughout: at N = 2 that makes the O(log N) budget coincide with the
+O(1) budget (one message), which is the only reading under which the two
+theorems agree at the smallest system size.
+
+Theorem 3's "Zipfian" bound treats the per-node result contribution as a
+geometric decay: the i-th most correlated peer contributes a fraction
+proportional to alpha**i.  The formulas are implemented exactly as printed:
+
+* O(1):      eps = 1 - (alpha + alpha**2) / N
+* O(log N):  eps = 1 - (alpha - alpha**(log2(N) + 1)) / (1 - alpha)
+
+(Discussion of the interpretation lives in DESIGN.md; the Figure 4 bench
+evaluates these verbatim.)
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+from repro.errors import ConfigurationError
+
+
+class Budget(enum.Enum):
+    """The two message-complexity regimes of Section 5.2.2."""
+
+    CONSTANT = "O(1)"
+    LOGARITHMIC = "O(log N)"
+
+
+def _check_nodes(num_nodes: int) -> None:
+    if num_nodes < 2:
+        raise ConfigurationError("bounds require at least 2 nodes")
+
+
+def uniform_error_bound(num_nodes: int, budget: Budget) -> float:
+    """Worst-case (uniform data) error bound.
+
+    Theorem 1: with T_i = 1 every tuple reaches its own node plus one
+    remote node, each holding 1/N of the equally-spread matches, so
+    eps = 1 - 2/N.  Theorem 2: with T_i = log N the tuple reaches
+    1 + log N of the N equal shares, so eps = 1 - (1 + log2 N)/N.
+    """
+    _check_nodes(num_nodes)
+    if budget is Budget.CONSTANT:
+        return max(0.0, 1.0 - 2.0 / num_nodes)
+    covered = 1.0 + math.log2(num_nodes)
+    return max(0.0, 1.0 - covered / num_nodes)
+
+
+def uniform_message_complexity(num_nodes: int, budget: Budget) -> float:
+    """Messages per arriving tuple under each budget (Figure 3b).
+
+    The baseline comparator is ``num_nodes - 1`` (exact join).
+    """
+    _check_nodes(num_nodes)
+    if budget is Budget.CONSTANT:
+        return 1.0
+    return min(math.log2(num_nodes), float(num_nodes - 1))
+
+
+def baseline_message_complexity(num_nodes: int) -> float:
+    """The exact join's N - 1 messages per tuple."""
+    _check_nodes(num_nodes)
+    return float(num_nodes - 1)
+
+
+def zipf_error_bound(num_nodes: int, alpha: float, budget: Budget) -> float:
+    """Theorem 3's error bounds under Zipf(alpha) data, as printed.
+
+    Values are clamped into [0, 1]; the O(log N) form can otherwise dip
+    below zero for alpha >= 0.5 where the geometric series captures more
+    than the whole result.
+    """
+    _check_nodes(num_nodes)
+    if not 0.0 < alpha < 1.0:
+        raise ConfigurationError("alpha must lie in (0, 1)")
+    if budget is Budget.CONSTANT:
+        captured = (alpha + alpha**2) / num_nodes
+    else:
+        exponent = math.log2(num_nodes) + 1.0
+        captured = (alpha - alpha**exponent) / (1.0 - alpha)
+    return float(min(1.0, max(0.0, 1.0 - captured)))

@@ -1,0 +1,204 @@
+"""Per-peer flow control (Section 5.2.2).
+
+Node i forwards an arriving tuple to peer j with probability
+``p_ij = w_i * rho_ij`` (Equation 4), where the weighting factor w_i is
+chosen so the expected number of transmissions per tuple,
+``T_i = sum_j p_ij``, meets a budget inside [1, log N] (Equation 9).
+
+Because each p_ij saturates at 1, solving ``sum_j min(1, w * rho_ij) = T``
+for w is a water-filling problem; the sum is continuous, piecewise linear
+and non-decreasing in w, so bisection converges fast and deterministically.
+
+The controller also implements the worst-case detector: under uniform data
+every peer looks equally (dis)similar, the variance of the rho_ij
+collapses, and no correlation-driven choice beats any other -- the node
+then falls back to round-robin (Section 5.2.2's "heuristics based
+method").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FlowSettings:
+    """Budget and detection knobs for one node's flow controller."""
+
+    budget_fraction: float = 1.0
+    """Interpolates the budget T_i between the O(1) bound (0.0) and the
+    O(log N) bound (1.0): T = 1 + fraction * (log2(N) - 1)."""
+
+    budget_override: float = 0.0
+    """If positive, use this T_i directly (calibration searches set it)."""
+
+    uniform_variance_threshold: float = 0.02
+    """Var[rho_ij] below this flags the uniform worst case.  Calibrated
+    against the Section 6 workloads: uniform data yields per-peer
+    similarity variances below ~1e-2, geographically skewed data well
+    above 5e-2."""
+
+    minimum_similarity: float = 0.0
+    """Floor applied to similarities before weighting (exploration mass)."""
+
+    adaptive: bool = False
+    """Resource-aware budgets (the abstract's "automatic throughput
+    handling based on resource availability"): when the node's service
+    queue backs up, the budget shrinks from its configured value toward
+    the O(1) floor; when the queue drains it expands back.  The bounds
+    [1, log N] of Equation 9 always hold."""
+
+    congestion_low: float = 4.0
+    """Queue depth at which the budget starts shrinking."""
+
+    congestion_high: float = 32.0
+    """Queue depth at (and beyond) which the budget sits at the O(1) floor."""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.budget_fraction <= 1.0:
+            raise ConfigurationError("budget_fraction must lie in [0, 1]")
+        if self.budget_override < 0:
+            raise ConfigurationError("budget_override must be non-negative")
+        if self.uniform_variance_threshold < 0:
+            raise ConfigurationError("variance threshold must be non-negative")
+        if not 0.0 <= self.minimum_similarity <= 1.0:
+            raise ConfigurationError("minimum_similarity must lie in [0, 1]")
+        if self.congestion_low < 0 or self.congestion_high <= self.congestion_low:
+            raise ConfigurationError(
+                "congestion thresholds need 0 <= low < high"
+            )
+
+    def budget(self, num_nodes: int, congestion_scale: float = 1.0) -> float:
+        """The transmission budget T_i for a system of ``num_nodes``.
+
+        ``congestion_scale`` in [0, 1] interpolates the spend *above the
+        O(1) floor*: 1 is the configured budget, 0 collapses to one
+        transmission per tuple (resource-aware throttling).
+        """
+        if num_nodes < 2:
+            raise ConfigurationError("flow control needs at least 2 nodes")
+        if self.budget_override > 0:
+            target = min(self.budget_override, float(num_nodes - 1))
+        else:
+            log_bound = max(1.0, math.log2(num_nodes))
+            target = min(
+                1.0 + self.budget_fraction * (log_bound - 1.0),
+                float(num_nodes - 1),
+            )
+        scale = min(1.0, max(0.0, congestion_scale))
+        if target <= 1.0:
+            return target
+        return 1.0 + scale * (target - 1.0)
+
+    def congestion_scale(self, queue_depth: float) -> float:
+        """Map a node's service-queue depth to the budget scale in [0, 1]."""
+        if not self.adaptive:
+            return 1.0
+        if queue_depth <= self.congestion_low:
+            return 1.0
+        if queue_depth >= self.congestion_high:
+            return 0.0
+        return (self.congestion_high - queue_depth) / (
+            self.congestion_high - self.congestion_low
+        )
+
+
+class FlowController:
+    """Turns per-peer similarities into per-peer forwarding probabilities."""
+
+    def __init__(self, num_nodes: int, settings: FlowSettings = FlowSettings()) -> None:
+        if num_nodes < 2:
+            raise ConfigurationError("flow control needs at least 2 nodes")
+        self.num_nodes = num_nodes
+        self.settings = settings
+        self.last_weight = 0.0
+        self.uniform_detections = 0
+        self.congestion_scale = 1.0
+
+    @property
+    def budget(self) -> float:
+        return self.settings.budget(self.num_nodes, self.congestion_scale)
+
+    def observe_queue_depth(self, queue_depth: float) -> None:
+        """Update the resource-aware budget scale from the service queue."""
+        self.congestion_scale = self.settings.congestion_scale(queue_depth)
+
+    def probabilities(self, similarities: Mapping[int, float]) -> Dict[int, float]:
+        """Water-fill the budget over peers proportionally to similarity.
+
+        Degenerate similarities (all ~zero) spread the budget uniformly --
+        the tuple must still reach *somewhere* for any result to exist.
+        """
+        if not similarities:
+            return {}
+        floored = {
+            peer: max(float(value), self.settings.minimum_similarity)
+            for peer, value in similarities.items()
+        }
+        target = min(self.budget, float(len(floored)))
+        scale = max(floored.values())
+        if scale <= 0.0:
+            uniform = target / len(floored)
+            self.last_weight = 0.0
+            return {peer: min(1.0, uniform) for peer in floored}
+        # Similarities vanishingly small relative to the best peer are
+        # numerically zero for water-filling (saturating them would need a
+        # weight beyond float range).
+        cutoff = scale * 1e-12
+        floored = {
+            peer: (value if value >= cutoff else 0.0)
+            for peer, value in floored.items()
+        }
+        weight = self._solve_weight(floored, target)
+        self.last_weight = weight
+        if math.isinf(weight):
+            # Fewer positive-similarity peers than the budget: saturate them
+            # all (inf * 0.0 would otherwise poison the zero-similarity
+            # peers with NaN).
+            return {peer: (1.0 if value > 0 else 0.0) for peer, value in floored.items()}
+        return {peer: min(1.0, weight * value) for peer, value in floored.items()}
+
+    @staticmethod
+    def _solve_weight(similarities: Mapping[int, float], target: float) -> float:
+        """Bisection on sum_j min(1, w * rho_j) = target."""
+        values = [v for v in similarities.values() if v > 0]
+        achieved = float(len(values))  # w -> infinity limit
+        if achieved <= target:
+            return math.inf
+        low, high = 0.0, 1.0
+        while sum(min(1.0, high * v) for v in values) < target:
+            high *= 2.0
+            if math.isinf(high):  # defensive: cannot happen past the
+                return high  # achieved-limit check above
+        for _ in range(64):
+            mid = (low + high) / 2.0
+            if sum(min(1.0, mid * v) for v in values) < target:
+                low = mid
+            else:
+                high = mid
+        return high
+
+    def expected_transmissions(self, probabilities: Mapping[int, float]) -> float:
+        """T_i implied by a probability assignment."""
+        return float(sum(probabilities.values()))
+
+    def is_uniform_worst_case(self, similarities: Mapping[int, float]) -> bool:
+        """Detect Section 5.2.2's worst case: all peers equally similar.
+
+        A very small variance in the per-peer similarities means the
+        correlation signal carries no routing information; the caller
+        should switch to a round-robin style fallback.
+        """
+        values = list(similarities.values())
+        if len(values) < 2:
+            return False
+        mean = sum(values) / len(values)
+        variance = sum((v - mean) ** 2 for v in values) / len(values)
+        uniform = variance < self.settings.uniform_variance_threshold
+        if uniform:
+            self.uniform_detections += 1
+        return uniform

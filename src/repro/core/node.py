@@ -1,0 +1,412 @@
+"""The distributed stream-processing node (Figure 7's runtime).
+
+Each node owns, **per concurrent query** (Section 3's multi-query
+setting; single-query systems simply have one):
+
+* its local segments R_i and S_i of that query's stream windows;
+* *shadow windows* holding forwarded copies received from peers -- the
+  materialization of the cross-partition joins R_i |><| S_j at this node;
+* a forwarding policy (summaries + destination choice).
+
+All queries share the node's single service queue and its sender-paced
+uplink, so concurrent queries contend for exactly the resources the
+paper's throughput analysis is about.
+
+The service model mirrors the paper's WAN emulation: the testbed *pauses
+the sender* one second per 90 kilobits, so transmission cost is charged to
+the sending node's service time (links then add propagation latency only).
+A node saturated by (N-1)-way broadcast therefore processes fewer tuples
+per second -- which is exactly the effect Figure 11 measures.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.config import SystemConfig, WindowKind
+from repro.core.policies.base import ForwardingPolicy
+from repro.errors import ConfigurationError
+from repro.join.ground_truth import GroundTruthOracle
+from repro.join.hash_join import JoinResult, SymmetricHashJoin
+from repro.metrics.accounting import ResultCollector
+from repro.net.message import Message, MessageKind
+from repro.net.simulator import EventScheduler
+from repro.net.topology import Network
+from repro.streams.tuples import StreamId, StreamTuple
+from repro.streams.window import (
+    CountWindow,
+    LandmarkWindow,
+    SlidingWindow,
+    TimeWindow,
+)
+
+
+@dataclass
+class QueryRuntime:
+    """One query's join state at one node."""
+
+    query_id: int
+    join: SymmetricHashJoin
+    policy: ForwardingPolicy
+    oracle: GroundTruthOracle
+    collector: ResultCollector
+    shadow_windows: Dict[StreamId, Dict[int, SlidingWindow]] = field(
+        default_factory=lambda: {StreamId.R: {}, StreamId.S: {}}
+    )
+
+
+class JoinProcessingNode:
+    """One processing site of the distributed join."""
+
+    def __init__(
+        self,
+        node_id: int,
+        config: SystemConfig,
+        scheduler: EventScheduler,
+        network: Network,
+        policy: ForwardingPolicy,
+        oracle: GroundTruthOracle,
+        collector: ResultCollector,
+    ) -> None:
+        self.node_id = node_id
+        self.config = config
+        self.scheduler = scheduler
+        self.network = network
+        self._queries: Dict[int, QueryRuntime] = {}
+        self.add_query(0, policy, oracle, collector)
+        self._queue: Deque[Tuple[str, object]] = deque()
+        self._busy = False
+        self._last_contact: Dict[int, float] = {}
+        self._mean_interarrival = 0.0
+        self._last_arrival_time: Optional[float] = None
+        self.tuples_processed = 0
+        self.remote_tuples_processed = 0
+        self.standalone_summaries_sent = 0
+        self.max_queue_depth = 0
+        self.busy_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # query management
+    # ------------------------------------------------------------------
+
+    def add_query(
+        self,
+        query_id: int,
+        policy: ForwardingPolicy,
+        oracle: GroundTruthOracle,
+        collector: ResultCollector,
+    ) -> None:
+        """Install the runtime for one concurrent query at this node."""
+        if query_id in self._queries:
+            raise ConfigurationError("query %d already installed" % query_id)
+        self._queries[query_id] = QueryRuntime(
+            query_id=query_id,
+            join=SymmetricHashJoin(
+                self.node_id,
+                r_window=self._make_window(shadow=False),
+                s_window=self._make_window(shadow=False),
+            ),
+            policy=policy,
+            oracle=oracle,
+            collector=collector,
+        )
+
+    def query(self, query_id: int = 0) -> QueryRuntime:
+        """The runtime of one query (0 is the first/only query)."""
+        return self._queries[query_id]
+
+    @property
+    def query_ids(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._queries))
+
+    # Single-query conveniences (the common case and the test surface).
+
+    @property
+    def policy(self) -> ForwardingPolicy:
+        return self._queries[0].policy
+
+    @property
+    def join(self) -> SymmetricHashJoin:
+        return self._queries[0].join
+
+    @property
+    def oracle(self) -> GroundTruthOracle:
+        return self._queries[0].oracle
+
+    @property
+    def collector(self) -> ResultCollector:
+        return self._queries[0].collector
+
+    @property
+    def shadow_windows(self) -> Dict[StreamId, Dict[int, SlidingWindow]]:
+        return self._queries[0].shadow_windows
+
+    # ------------------------------------------------------------------
+    # ingress
+    # ------------------------------------------------------------------
+
+    def on_local_arrival(self, item: StreamTuple) -> None:
+        """A tuple of this node's own stream segment arrived."""
+        self._enqueue(("local", item))
+
+    def on_message(self, message: Message) -> None:
+        """Network delivery callback."""
+        self._enqueue(("message", message))
+
+    def _enqueue(self, work: Tuple[str, object]) -> None:
+        self._queue.append(work)
+        self.max_queue_depth = max(self.max_queue_depth, len(self._queue))
+        self._start_next()
+
+    def _start_next(self) -> None:
+        if self._busy or not self._queue:
+            return
+        self._busy = True
+        kind, payload = self._queue.popleft()
+        if kind == "local":
+            service_time = self._process_local(payload)
+        else:
+            service_time = self._process_message(payload)
+        self.busy_seconds += service_time
+        self.scheduler.schedule_in(service_time, self._finish_service)
+
+    def _finish_service(self) -> None:
+        self._busy = False
+        self._start_next()
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # window construction
+    # ------------------------------------------------------------------
+
+    def _make_window(self, shadow: bool) -> SlidingWindow:
+        if self.config.window_kind is WindowKind.TIME:
+            return TimeWindow(self.config.window_seconds)
+        capacity = (
+            self.config.effective_shadow_window if shadow else self.config.window_size
+        )
+        if self.config.window_kind is WindowKind.LANDMARK:
+            # Shadow windows reset on landmark copies too: the origin's
+            # window emptied at that moment, so its copies are stale.
+            return LandmarkWindow(self.config.landmark_key, max_size=capacity)
+        return CountWindow(capacity)
+
+    def _shadow_window(
+        self, runtime: QueryRuntime, stream: StreamId, origin: int
+    ) -> SlidingWindow:
+        windows = runtime.shadow_windows[stream]
+        if origin not in windows:
+            windows[origin] = self._make_window(shadow=True)
+        return windows[origin]
+
+    def _refresh_time_windows(self, runtime: QueryRuntime, now: float) -> None:
+        """Expire time-window tuples between arrivals (probe freshness).
+
+        Count windows evict only on insert; time windows must not let a
+        probe match a tuple whose span already lapsed, so both the local
+        and the shadow windows are advanced to ``now`` first.  Local
+        expirations propagate to the oracle and the deletable summaries.
+        """
+        if self.config.window_kind is not WindowKind.TIME:
+            return
+        for stream in (StreamId.R, StreamId.S):
+            window = runtime.join.window(stream)
+            expired = window.advance_to(now)
+            if expired:
+                runtime.oracle.observe_evictions(stream, expired)
+                runtime.policy.on_evictions(stream, expired)
+            for shadow in runtime.shadow_windows[stream].values():
+                shadow.advance_to(now)
+
+    # ------------------------------------------------------------------
+    # local tuple processing (Figure 7)
+    # ------------------------------------------------------------------
+
+    def _process_local(self, raw_item: StreamTuple) -> float:
+        now = self.scheduler.now
+        item = raw_item.with_timestamp(now)
+        runtime = self._queries[item.query_id]
+        self._note_arrival(now)
+        self._refresh_time_windows(runtime, now)
+
+        # Probe + insert against the local windows, probe the shadow copies.
+        results, evicted = runtime.join.insert_local(item, now)
+        results.extend(self._probe_shadow(runtime, item, now))
+        runtime.oracle.observe_arrival(item, evicted)
+        result_pause = self._report_results(runtime, results, now)
+
+        # Summaries update before the forwarding decision (Figure 7 order).
+        runtime.policy.on_local_insert(item, evicted)
+        runtime.policy.observe_congestion(len(self._queue))
+        destinations = runtime.policy.choose_destinations(item)
+
+        transmission_seconds = result_pause
+        for destination in destinations:
+            transmission_seconds += self._send_tuple(item, destination, now)
+        transmission_seconds += self._flush_stale_summaries(now)
+
+        self.tuples_processed += 1
+        return self.config.cpu_seconds_per_tuple + transmission_seconds
+
+    def _probe_shadow(
+        self, runtime: QueryRuntime, item: StreamTuple, now: float
+    ) -> List[JoinResult]:
+        """Join a local arrival against forwarded copies of the other stream."""
+        results = []
+        for shadow in runtime.shadow_windows[item.stream.other].values():
+            for match in shadow.matches(item.key):
+                if item.stream is StreamId.R:
+                    results.append(JoinResult(item, match, self.node_id, now))
+                else:
+                    results.append(JoinResult(match, item, self.node_id, now))
+        return results
+
+    def _report_results(
+        self, runtime: QueryRuntime, results: List[JoinResult], now: float
+    ) -> float:
+        """Record results; ship each cross-node result to its remote owner.
+
+        "Matching tuples must still be transmitted over the network in
+        order to provide the complete result" (Section 5.3) -- a result
+        pair discovered here whose other member originated elsewhere costs
+        one RESULT message to that origin.  Purely local pairs are
+        consumed in place.  Duplicate and spurious discoveries transmit
+        nothing.
+        """
+        pause = 0.0
+        for result in results:
+            is_new = runtime.collector.record(
+                result, now, is_true=runtime.oracle.validate(result)
+            )
+            if not is_new:
+                continue
+            remote_origin = None
+            if result.r_tuple.origin_node != self.node_id:
+                remote_origin = result.r_tuple.origin_node
+            elif result.s_tuple.origin_node != self.node_id:
+                remote_origin = result.s_tuple.origin_node
+            if remote_origin is None:
+                continue
+            message = Message(
+                kind=MessageKind.RESULT,
+                source=self.node_id,
+                destination=remote_origin,
+                payload=(runtime.query_id, None, []),
+            )
+            self.network.send(message)
+            pause += self._pause_seconds(message)
+        return pause
+
+    def _take_pending_updates(self, destination: int) -> List[Tuple[int, object]]:
+        """Drain every query's outbox for ``destination`` (shared channel)."""
+        updates: List[Tuple[int, object]] = []
+        for query_id in sorted(self._queries):
+            for update in self._queries[query_id].policy.outbox.take(destination):
+                updates.append((query_id, update))
+        return updates
+
+    def _send_tuple(self, item: StreamTuple, destination: int, now: float) -> float:
+        """Transmit a tuple with piggy-backed summary deltas; returns pause."""
+        updates = self._take_pending_updates(destination)
+        message = Message(
+            kind=MessageKind.TUPLE,
+            source=self.node_id,
+            destination=destination,
+            payload=(item.query_id, item, updates),
+            summary_entries=sum(update.entries for _, update in updates),
+        )
+        self.network.send(message)
+        self._last_contact[destination] = now
+        return self._pause_seconds(message)
+
+    def _flush_stale_summaries(self, now: float) -> float:
+        """Figure 7's standalone path: peers starved of tuples still get
+        summary updates, after a dynamic multiple of the inter-arrival time."""
+        if self._mean_interarrival <= 0:
+            return 0.0
+        threshold = self.config.summary_flush_multiple * self._mean_interarrival
+        pause = 0.0
+        starved = set()
+        for runtime in self._queries.values():
+            starved.update(runtime.policy.outbox.peers_with_pending())
+        for peer in sorted(starved):
+            last = self._last_contact.get(peer, 0.0)
+            if now - last < threshold:
+                continue
+            updates = self._take_pending_updates(peer)
+            if not updates:
+                continue
+            message = Message(
+                kind=MessageKind.SUMMARY,
+                source=self.node_id,
+                destination=peer,
+                payload=(0, None, updates),
+                summary_entries=sum(update.entries for _, update in updates),
+            )
+            self.network.send(message)
+            self._last_contact[peer] = now
+            self.standalone_summaries_sent += 1
+            pause += self._pause_seconds(message)
+        return pause
+
+    def _pause_seconds(self, message: Message) -> float:
+        """Sender-side serialization pause (the 90 kbps emulation)."""
+        return message.size_bytes() * 8.0 / self.config.sender_paced_bps
+
+    def _note_arrival(self, now: float) -> None:
+        if self._last_arrival_time is not None:
+            gap = now - self._last_arrival_time
+            if self._mean_interarrival == 0.0:
+                self._mean_interarrival = gap
+            else:
+                self._mean_interarrival = 0.9 * self._mean_interarrival + 0.1 * gap
+        self._last_arrival_time = now
+
+    # ------------------------------------------------------------------
+    # remote message processing
+    # ------------------------------------------------------------------
+
+    def _process_message(self, message: Message) -> float:
+        now = self.scheduler.now
+        query_id, item, updates = message.payload
+        for update_query_id, update in updates:
+            self._queries[update_query_id].policy.on_remote_summary(
+                message.source, update
+            )
+        if item is None:
+            return self.config.cpu_seconds_per_probe
+        runtime = self._queries[item.query_id]
+        self._refresh_time_windows(runtime, now)
+        results = runtime.join.probe_remote(item, now)
+        result_pause = self._report_results(runtime, results, now)
+        self._shadow_window(runtime, item.stream, item.origin_node).append(item)
+        self.remote_tuples_processed += 1
+        return self.config.cpu_seconds_per_probe + result_pause
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def diagnostics(self) -> Dict[str, float]:
+        counters = {
+            "tuples_processed": float(self.tuples_processed),
+            "remote_tuples_processed": float(self.remote_tuples_processed),
+            "standalone_summaries": float(self.standalone_summaries_sent),
+            "max_queue_depth": float(self.max_queue_depth),
+            "busy_seconds": self.busy_seconds,
+            "local_results": float(
+                sum(r.join.local_results for r in self._queries.values())
+            ),
+            "probe_results": float(
+                sum(r.join.probe_results for r in self._queries.values())
+            ),
+        }
+        for runtime in self._queries.values():
+            for key, value in runtime.policy.diagnostics().items():
+                counters[key] = counters.get(key, 0.0) + value
+        return counters

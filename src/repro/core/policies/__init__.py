@@ -1,0 +1,80 @@
+"""Forwarding policies: who gets which tuple.
+
+Each policy answers one question per locally-arriving tuple -- *which of
+the N-1 peers should receive a copy?* -- and maintains whatever summary
+state (DFT coefficients, Bloom filters, sketches) that answer needs.
+
+Use :func:`make_policy` (or :func:`make_shared_state` +
+:func:`make_policy` for multi-node systems, so nodes share hash
+functions) to construct them from a :class:`repro.config.PolicyConfig`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro._rng import ensure_rng
+from repro.config import Algorithm, PolicyConfig
+from repro.core.policies.base import (
+    BroadcastPolicy,
+    ForwardingPolicy,
+    PolicyContext,
+)
+from repro.core.policies.bloom import BloomPolicy, make_bloom_shared_state
+from repro.core.policies.dft import DftPolicy
+from repro.core.policies.dftt import DfttPolicy
+from repro.core.policies.round_robin import RoundRobinPolicy
+from repro.core.policies.sketch import SketchPolicy, make_sketch_shared_state
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ForwardingPolicy",
+    "PolicyContext",
+    "BroadcastPolicy",
+    "RoundRobinPolicy",
+    "DftPolicy",
+    "DfttPolicy",
+    "BloomPolicy",
+    "SketchPolicy",
+    "make_policy",
+    "make_shared_state",
+]
+
+
+def make_shared_state(
+    config: PolicyConfig, window_size: int, rng=None
+) -> Dict[str, object]:
+    """State every node must agree on before the query starts.
+
+    Summary comparison across nodes requires identical hash functions
+    (Bloom probes, sketch sign hashes); in the paper this happens when the
+    join query is disseminated.  DFT policies need no shared state -- the
+    transform is canonical.
+    """
+    generator = ensure_rng(rng)
+    if config.algorithm is Algorithm.BLOOM:
+        return make_bloom_shared_state(config, window_size, generator)
+    if config.algorithm is Algorithm.SKCH:
+        return make_sketch_shared_state(config, window_size, generator)
+    return {}
+
+
+def make_policy(
+    context: PolicyContext, shared: Optional[Dict[str, object]] = None
+) -> ForwardingPolicy:
+    """Instantiate the policy selected by ``context.config.algorithm``."""
+    shared = shared or {}
+    algorithm = context.config.algorithm
+    if algorithm is Algorithm.BASE:
+        return BroadcastPolicy(context)
+    if algorithm is Algorithm.ROUND_ROBIN:
+        return RoundRobinPolicy(context)
+    if algorithm is Algorithm.DFT:
+        return DftPolicy(context)
+    if algorithm is Algorithm.DFTT:
+        return DfttPolicy(context)
+    if algorithm is Algorithm.BLOOM:
+        return BloomPolicy(context, shared)
+    if algorithm is Algorithm.SKCH:
+        return SketchPolicy(context, shared)
+    raise ConfigurationError("unknown algorithm %r" % algorithm)

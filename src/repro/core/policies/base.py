@@ -1,0 +1,135 @@
+"""Policy interface and the BASE (broadcast) comparator.
+
+A policy lives inside one node.  The node runtime calls, in order, for
+each locally-arriving tuple:
+
+1. :meth:`ForwardingPolicy.on_local_insert` -- the tuple entered the local
+   window (with the eviction it caused); summaries update here.
+2. :meth:`ForwardingPolicy.choose_destinations` -- which peers get a copy.
+
+Incoming summary updates (piggy-backed or standalone) are delivered via
+:meth:`ForwardingPolicy.on_remote_summary`.  Pending outgoing summaries
+live in the policy's :class:`~repro.core.summaries.SummaryOutbox`; the
+node drains it when transmitting.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro._rng import ensure_rng
+from repro.config import PolicyConfig
+from repro.core.summaries import SummaryOutbox, SummaryUpdate
+from repro.errors import ConfigurationError
+from repro.streams.tuples import StreamId, StreamTuple
+
+
+@dataclass
+class PolicyContext:
+    """Everything a policy may know about its place in the system."""
+
+    node_id: int
+    peer_ids: Tuple[int, ...]
+    window_size: int
+    domain: int
+    config: PolicyConfig
+    rng: np.random.Generator = field(default_factory=lambda: ensure_rng(0))
+
+    def __post_init__(self) -> None:
+        if self.node_id in self.peer_ids:
+            raise ConfigurationError("a node is not its own peer")
+        if len(set(self.peer_ids)) != len(self.peer_ids):
+            raise ConfigurationError("duplicate peer ids")
+        self.config.validate()
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.peer_ids) + 1
+
+
+class ForwardingPolicy(abc.ABC):
+    """Per-node forwarding strategy."""
+
+    name: str = "abstract"
+
+    def __init__(self, context: PolicyContext) -> None:
+        self.context = context
+        self.outbox = SummaryOutbox(context.peer_ids)
+        self.tuples_seen = 0
+        self.fallback_decisions = 0
+        self.congestion_scale = 1.0
+
+    @property
+    def node_id(self) -> int:
+        return self.context.node_id
+
+    @property
+    def peer_ids(self) -> Tuple[int, ...]:
+        return self.context.peer_ids
+
+    def on_local_insert(
+        self, item: StreamTuple, evicted: Sequence[StreamTuple]
+    ) -> None:
+        """A tuple entered the local window (default: nothing to maintain)."""
+        self.tuples_seen += 1
+
+    def observe_congestion(self, queue_depth: int) -> None:
+        """The node reports its service-queue depth before each decision.
+
+        With adaptive flow settings this throttles the budget toward the
+        O(1) floor under backlog ("automatic throughput handling based on
+        resource availability").  Policies without a flow controller
+        (BASE) ignore it; round-robin applies the scale directly.
+        """
+        self.congestion_scale = self.context.config.flow.congestion_scale(queue_depth)
+        controller = getattr(self, "flow", None)
+        if controller is not None:
+            controller.observe_queue_depth(queue_depth)
+
+    def on_evictions(self, stream: StreamId, evicted: Sequence[StreamTuple]) -> None:
+        """Tuples expired between arrivals (time windows only).
+
+        Count-window evictions arrive through :meth:`on_local_insert`;
+        policies whose summaries support deletion (Bloom, sketches)
+        override this to stay consistent.  The DFT summaries cover the
+        most recent ``window_size`` tuples by construction and need no
+        action here.
+        """
+
+    @abc.abstractmethod
+    def choose_destinations(self, item: StreamTuple) -> List[int]:
+        """Peers that should receive a copy of ``item``."""
+
+    def on_remote_summary(self, source: int, update: SummaryUpdate) -> None:
+        """A peer's summary update arrived (default: ignored)."""
+
+    def diagnostics(self) -> Dict[str, float]:
+        """Policy-specific counters for result reporting."""
+        return {
+            "tuples_seen": float(self.tuples_seen),
+            "fallback_decisions": float(self.fallback_decisions),
+        }
+
+    def _bernoulli_destinations(
+        self, probabilities: Dict[int, float]
+    ) -> List[int]:
+        """Independent coin per peer -- the paper's probabilistic transmit."""
+        rng = self.context.rng
+        return [
+            peer
+            for peer, probability in probabilities.items()
+            if probability > 0 and rng.random() < probability
+        ]
+
+
+class BroadcastPolicy(ForwardingPolicy):
+    """BASE: every tuple to every peer -- exact results, (N-1) messages."""
+
+    name = "BASE"
+
+    def choose_destinations(self, item: StreamTuple) -> List[int]:
+        return list(self.peer_ids)

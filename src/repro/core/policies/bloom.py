@@ -1,0 +1,195 @@
+"""The BLOOM baseline (Section 6, after Broder & Mitzenmacher [5]).
+
+Each site maintains a *counting* Bloom filter per stream over its window's
+joining attributes (counting, so sliding-window evictions can decrement)
+and periodically snapshots it to every peer.  An arriving tuple is tested
+against each peer's opposite-stream filter: positive sites are forwarded
+to directly (ranked by the min-counter multiplicity estimate, capped at
+the flow budget), and the long-run hit rate per peer doubles as a
+similarity signal for the probabilistic remainder of the budget --
+"the flow factors are determined from the number of positive filter hits
+that tuples generate".
+
+All nodes must probe with identical hash functions, which
+:func:`make_bloom_shared_state` provides (built once at query
+dissemination time, like the paper's coordinated query setup).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._rng import spawn
+from repro.bloom.counting import CountingBloomFilter
+from repro.config import PolicyConfig
+from repro.core.flow import FlowController
+from repro.core.policies.base import ForwardingPolicy, PolicyContext
+from repro.core.summaries import (
+    RemoteSummaryTable,
+    SnapshotSummaryManager,
+    SummaryUpdate,
+)
+from repro.errors import ConfigurationError
+from repro.streams.tuples import StreamId, StreamTuple
+
+COUNTERS_PER_SUMMARY_ENTRY = 40
+"""4-bit counters packed into one 20-byte summary entry."""
+
+ALGORITHM = "bloom"
+
+
+def make_bloom_shared_state(
+    config: PolicyConfig, window_size: int, rng: np.random.Generator
+) -> Dict[str, object]:
+    """Template filters (one per stream) every node spawns compatibly from.
+
+    The filter is sized so its wire representation equals the DFT summary
+    budget: ``W/kappa`` entries of 40 counters each.
+    """
+    entries = config.summary_budget(window_size)
+    num_counters = entries * COUNTERS_PER_SUMMARY_ENTRY
+    child_rngs = spawn(rng, 2)
+    templates = {
+        StreamId.R: CountingBloomFilter(
+            num_counters, config.bloom_hashes, rng=child_rngs[0]
+        ),
+        StreamId.S: CountingBloomFilter(
+            num_counters, config.bloom_hashes, rng=child_rngs[1]
+        ),
+    }
+    return {"bloom_templates": templates, "bloom_entries": entries}
+
+
+class BloomPolicy(ForwardingPolicy):
+    """Counting-Bloom-filter membership forwarding."""
+
+    name = "BLOOM"
+
+    def __init__(self, context: PolicyContext, shared: Dict[str, object]) -> None:
+        super().__init__(context)
+        templates = shared.get("bloom_templates")
+        if templates is None:
+            raise ConfigurationError(
+                "BloomPolicy requires shared state from make_bloom_shared_state"
+            )
+        entries = int(shared["bloom_entries"])
+        self.filters: Dict[StreamId, CountingBloomFilter] = {
+            stream: template.spawn_compatible()
+            for stream, template in templates.items()
+        }
+        self.managers: Dict[StreamId, SnapshotSummaryManager] = {
+            stream: SnapshotSummaryManager(
+                algorithm=ALGORITHM,
+                stream=stream,
+                window_size=context.window_size,
+                entries=entries,
+                refresh_interval=context.config.summary_refresh_interval,
+                outbox=self.outbox,
+                snapshot_fn=self.filters[stream].snapshot,
+            )
+            for stream in (StreamId.R, StreamId.S)
+        }
+        self.remote = RemoteSummaryTable()
+        self._remote_filters: Dict[Tuple[int, StreamId], CountingBloomFilter] = {}
+        self.flow = FlowController(context.num_nodes, context.config.flow)
+        # Exponentially-weighted per-peer hit rates, per local stream.
+        self._hit_rates: Dict[StreamId, Dict[int, float]] = {
+            StreamId.R: {peer: 0.5 for peer in context.peer_ids},
+            StreamId.S: {peer: 0.5 for peer in context.peer_ids},
+        }
+        self._hit_rate_decay = 0.98
+
+    # ------------------------------------------------------------------
+    # summary maintenance
+    # ------------------------------------------------------------------
+
+    def on_local_insert(
+        self, item: StreamTuple, evicted: Sequence[StreamTuple]
+    ) -> None:
+        super().on_local_insert(item, evicted)
+        bloom = self.filters[item.stream]
+        bloom.add(item.key)
+        for old in evicted:
+            bloom.remove(old.key)
+        self.managers[item.stream].tick()
+
+    def on_evictions(self, stream: StreamId, evicted: Sequence[StreamTuple]) -> None:
+        bloom = self.filters[stream]
+        for old in evicted:
+            bloom.remove(old.key)
+
+    def on_remote_summary(self, source: int, update: SummaryUpdate) -> None:
+        if update.algorithm != ALGORITHM:
+            return
+        if self.remote.apply(source, update):
+            key = (source, update.stream)
+            if key not in self._remote_filters:
+                self._remote_filters[key] = self.filters[update.stream].spawn_compatible()
+            self._remote_filters[key].load_snapshot(update.payload)
+            self.remote.clear_dirty(source, update.stream)
+
+    def remote_filter(
+        self, peer: int, stream: StreamId
+    ) -> Optional[CountingBloomFilter]:
+        return self._remote_filters.get((peer, stream))
+
+    # ------------------------------------------------------------------
+    # forwarding decision
+    # ------------------------------------------------------------------
+
+    def choose_destinations(self, item: StreamTuple) -> List[int]:
+        opposite = item.stream.other
+        hits: Dict[int, int] = {}
+        unknown: List[int] = []
+        for peer in self.peer_ids:
+            remote = self.remote_filter(peer, opposite)
+            if remote is None:
+                unknown.append(peer)
+                continue
+            hit = item.key in remote
+            rates = self._hit_rates[item.stream]
+            rates[peer] = self._hit_rate_decay * rates[peer] + (
+                1.0 - self._hit_rate_decay
+            ) * (1.0 if hit else 0.0)
+            if hit:
+                hits[peer] = remote.count_estimate(item.key)
+
+        budget = self.flow.budget
+        rng = self.context.rng
+        if hits:
+            ranked = sorted(hits, key=lambda p: (-hits[p], p))
+            capacity = max(1, int(round(budget)))
+            destinations = ranked[:capacity]
+            remaining = [p for p in self.peer_ids if p not in destinations]
+            if remaining and rng.random() < self.context.config.explore_probability:
+                destinations.append(remaining[int(rng.integers(0, len(remaining)))])
+            return destinations
+
+        if unknown:
+            self.fallback_decisions += 1
+            probabilities = self.flow.probabilities(
+                {peer: 0.5 for peer in self.peer_ids}
+            )
+            return self._bernoulli_destinations(probabilities)
+
+        # All filters answered "absent".  Counting Bloom filters have no
+        # false negatives, so unlike DFTT's soft miss this is a hard one --
+        # but the snapshot may be stale, so keep a thin exploration flow
+        # driven by the learned hit rates.
+        probabilities = self.flow.probabilities(self._hit_rates[item.stream])
+        reduced = {
+            peer: probability * self.context.config.explore_probability
+            for peer, probability in probabilities.items()
+        }
+        return self._bernoulli_destinations(reduced)
+
+    def diagnostics(self) -> Dict[str, float]:
+        counters = super().diagnostics()
+        counters["bloom_broadcasts"] = float(
+            sum(m.broadcasts for m in self.managers.values())
+        )
+        counters["bloom_fill_r"] = self.filters[StreamId.R].fill_ratio()
+        counters["bloom_fill_s"] = self.filters[StreamId.S].fill_ratio()
+        return counters

@@ -1,0 +1,174 @@
+"""The DFT policy (Section 5.2): flow filtering from spectral similarity.
+
+Per stream, the node runs an incremental DFT over its window's joining
+attributes and broadcasts coefficient deltas.  For a tuple of stream R
+arriving at node i, the relevant similarity is between node i's *R* signal
+and each peer j's *S* signal (that is where the tuple would join), and
+symmetrically for S tuples.  Similarities feed the
+:class:`~repro.core.flow.FlowController`, which water-fills the
+T_i in [1, log N] budget into per-peer probabilities; the tuple is then
+forwarded with an independent coin per peer (Figure 2).
+
+When the controller detects the uniform worst case (negligible variance
+across peers), the policy falls back to budgeted round-robin, as
+Section 5.2.2 prescribes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.correlation import SimilarityMeasure, similarity
+from repro.core.flow import FlowController
+from repro.core.policies.base import ForwardingPolicy, PolicyContext
+from repro.core.policies.round_robin import RoundRobinPolicy
+from repro.core.summaries import (
+    DftSummaryManager,
+    RemoteSummaryTable,
+    SummaryUpdate,
+)
+from repro.streams.tuples import StreamId, StreamTuple
+
+UNKNOWN_PEER_SIMILARITY = 0.5
+"""Prior similarity for peers whose summary has not arrived yet: neither
+trusted nor written off, so early tuples still explore the mesh."""
+
+
+class DftPolicy(ForwardingPolicy):
+    """Correlation-filtered forwarding from exchanged DFT coefficients."""
+
+    name = "DFT"
+
+    def __init__(self, context: PolicyContext) -> None:
+        super().__init__(context)
+        config = context.config
+        budget = config.summary_budget(context.window_size)
+        self.managers: Dict[StreamId, DftSummaryManager] = {
+            stream: DftSummaryManager(
+                stream=stream,
+                window_size=context.window_size,
+                budget=budget,
+                refresh_interval=config.summary_refresh_interval,
+                delta_tolerance=config.delta_tolerance,
+                outbox=self.outbox,
+            )
+            for stream in (StreamId.R, StreamId.S)
+        }
+        self.remote = RemoteSummaryTable()
+        self.flow = FlowController(context.num_nodes, config.flow)
+        self._round_robin = RoundRobinPolicy(context)
+        self._cached_probabilities: Dict[StreamId, Dict[int, float]] = {}
+        self._cached_similarities: Dict[StreamId, Dict[int, float]] = {}
+        self._arrivals_since_probability_refresh = 0
+        self.worst_case_mode = False
+
+    # ------------------------------------------------------------------
+    # summary maintenance
+    # ------------------------------------------------------------------
+
+    def on_local_insert(
+        self, item: StreamTuple, evicted: Sequence[StreamTuple]
+    ) -> None:
+        super().on_local_insert(item, evicted)
+        self.managers[item.stream].observe(item.key)
+        self._arrivals_since_probability_refresh += 1
+        if (
+            self._arrivals_since_probability_refresh
+            >= self.context.config.summary_refresh_interval
+        ):
+            self._invalidate_probabilities()
+
+    def on_remote_summary(self, source: int, update: SummaryUpdate) -> None:
+        if update.algorithm != DftSummaryManager.ALGORITHM:
+            return
+        if self.remote.apply(source, update):
+            self._invalidate_probabilities()
+
+    def _invalidate_probabilities(self) -> None:
+        self._cached_probabilities.clear()
+        self._cached_similarities.clear()
+        self._arrivals_since_probability_refresh = 0
+
+    def observe_congestion(self, queue_depth: int) -> None:
+        previous = self.congestion_scale
+        super().observe_congestion(queue_depth)
+        # Cached probabilities embed the budget; refresh them when the
+        # resource-aware scale moved materially.
+        if abs(self.congestion_scale - previous) > 0.1:
+            self._cached_probabilities.clear()
+
+    # ------------------------------------------------------------------
+    # similarity and probabilities
+    # ------------------------------------------------------------------
+
+    def peer_similarities(self, stream: StreamId) -> Dict[int, float]:
+        """Similarity of the local ``stream`` signal to each peer's
+        opposite-stream signal (recomputed lazily at the refresh cadence)."""
+        cached = self._cached_similarities.get(stream)
+        if cached is not None:
+            return cached
+        local_map = self.managers[stream].local_coefficients()
+        other = stream.other
+        similarities: Dict[int, float] = {}
+        for peer in self.peer_ids:
+            remote_map = self.remote.get(peer, other)
+            if remote_map is None or not local_map:
+                similarities[peer] = UNKNOWN_PEER_SIMILARITY
+                continue
+            similarities[peer] = similarity(
+                self.context.config.similarity,
+                local_map,
+                remote_map,
+                self.context.window_size,
+                domain=self.context.domain,
+            )
+        self._cached_similarities[stream] = similarities
+        return similarities
+
+    def peer_probabilities(self, stream: StreamId) -> Dict[int, float]:
+        """Water-filled forwarding probabilities for ``stream`` tuples."""
+        cached = self._cached_probabilities.get(stream)
+        if cached is not None:
+            return cached
+        similarities = self.peer_similarities(stream)
+        known = {
+            peer
+            for peer in self.peer_ids
+            if self.remote.get(peer, stream.other) is not None
+        }
+        # Only judge the worst case on mature evidence: every peer's
+        # summary present and a full window's worth of local arrivals
+        # (during warm-up every window looks like every other).
+        mature = (
+            len(known) == len(self.peer_ids)
+            and self.tuples_seen >= self.context.window_size
+        )
+        if mature and self.flow.is_uniform_worst_case(similarities):
+            self.worst_case_mode = True
+        else:
+            self.worst_case_mode = False
+        probabilities = self.flow.probabilities(similarities)
+        self._cached_probabilities[stream] = probabilities
+        return probabilities
+
+    # ------------------------------------------------------------------
+    # forwarding decision
+    # ------------------------------------------------------------------
+
+    def choose_destinations(self, item: StreamTuple) -> List[int]:
+        probabilities = self.peer_probabilities(item.stream)
+        if self.worst_case_mode:
+            self.fallback_decisions += 1
+            budget = self.context.config.flow.budget(
+                self.context.num_nodes, self.congestion_scale
+            )
+            return self._round_robin.take_from_cycle(budget)
+        return self._bernoulli_destinations(probabilities)
+
+    def diagnostics(self) -> Dict[str, float]:
+        counters = super().diagnostics()
+        counters["uniform_detections"] = float(self.flow.uniform_detections)
+        counters["dft_broadcasts"] = float(
+            sum(m.broadcasts for m in self.managers.values())
+        )
+        return counters

@@ -1,0 +1,49 @@
+"""Round-robin forwarding.
+
+The paper's fallback for the uniform worst case (Section 5.2.2): when the
+correlation signal carries no information, spread tuples evenly.  Each
+tuple goes to the next ``floor(T)`` peers in cyclic order, plus one more
+with probability ``frac(T)``, so the *expected* message complexity equals
+the budget T exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.core.policies.base import ForwardingPolicy, PolicyContext
+from repro.streams.tuples import StreamTuple
+
+
+class RoundRobinPolicy(ForwardingPolicy):
+    """Budgeted cyclic tuple distribution."""
+
+    name = "RR"
+
+    def __init__(self, context: PolicyContext) -> None:
+        super().__init__(context)
+        self._cursor = 0
+
+    def choose_destinations(self, item: StreamTuple) -> List[int]:
+        budget = self.context.config.flow.budget(
+            self.context.num_nodes, self.congestion_scale
+        )
+        return self.take_from_cycle(budget)
+
+    def take_from_cycle(self, budget: float) -> List[int]:
+        """Next ``budget`` peers in cyclic order (shared with fallbacks)."""
+        peers = self.peer_ids
+        if not peers:
+            return []
+        whole = min(int(math.floor(budget)), len(peers))
+        fraction = budget - math.floor(budget)
+        count = whole
+        if count < len(peers) and fraction > 0:
+            if self.context.rng.random() < fraction:
+                count += 1
+        destinations = []
+        for offset in range(count):
+            destinations.append(peers[(self._cursor + offset) % len(peers)])
+        self._cursor = (self._cursor + count) % len(peers)
+        return destinations

@@ -1,0 +1,192 @@
+"""The SKCH baseline (Section 6, after Alon et al. [1]).
+
+Each site sketches its window's attribute-frequency vector with an AGMS
+sketch and snapshots the counters to every peer.  The estimated join size
+between the local window of a tuple's stream and each peer's
+opposite-stream window weights that peer's flow factor: "a tuple is more
+likely to be transmitted to those nodes which produce the most join
+results".
+
+Sketches estimate *aggregate* join sizes only -- unlike Bloom filters or
+DFT reconstruction they cannot test an individual tuple's membership,
+which is exactly why the paper finds SKCH transmits more messages than
+BLOOM and DFTT under skew.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._rng import spawn
+from repro.config import PolicyConfig
+from repro.core.flow import FlowController
+from repro.core.policies.base import ForwardingPolicy, PolicyContext
+from repro.core.summaries import (
+    RemoteSummaryTable,
+    SnapshotSummaryManager,
+    SummaryUpdate,
+)
+from repro.errors import ConfigurationError
+from repro.sketches.agms import AgmsSketch, SketchShape
+from repro.sketches.fast_agms import FastAgmsSketch, FastSketchShape
+from repro.streams.tuples import StreamId, StreamTuple
+
+COUNTERS_PER_SUMMARY_ENTRY = 5
+"""4-byte counters packed into one 20-byte summary entry."""
+
+ALGORITHM = "skch"
+
+
+def make_sketch_shared_state(
+    config: PolicyConfig, window_size: int, rng: np.random.Generator
+) -> Dict[str, object]:
+    """Template sketches (one hash bank per stream) shared by all nodes.
+
+    Total counters are sized to the common summary budget --
+    ``W/kappa`` entries of 5 counters each -- with the paper's 5:1
+    s0:s1 ratio (plain AGMS) or ``sketch_ratio`` rows (Fast-AGMS, when
+    ``config.sketch_variant == "fast"``).
+    """
+    entries = config.summary_budget(window_size)
+    total = max(config.sketch_ratio, entries * COUNTERS_PER_SUMMARY_ENTRY)
+    # One hash bank for *everything*: R and S sketches must be mutually
+    # comparable (the join-size inner product only makes sense when both
+    # sides hash the key domain identically).
+    if config.sketch_variant == "fast":
+        fast_shape = FastSketchShape.from_total(total, rows=config.sketch_ratio)
+        template = FastAgmsSketch(fast_shape, rng=spawn(rng, 1)[0])
+        counters = fast_shape.total
+    else:
+        shape = SketchShape.from_total(total, ratio=config.sketch_ratio)
+        template = AgmsSketch(shape, rng=spawn(rng, 1)[0])
+        counters = shape.total
+    templates = {StreamId.R: template, StreamId.S: template}
+    return {
+        "sketch_templates": templates,
+        "sketch_entries": max(1, math.ceil(counters / COUNTERS_PER_SUMMARY_ENTRY)),
+    }
+
+
+class SketchPolicy(ForwardingPolicy):
+    """AGMS join-size-weighted probabilistic forwarding."""
+
+    name = "SKCH"
+
+    def __init__(self, context: PolicyContext, shared: Dict[str, object]) -> None:
+        super().__init__(context)
+        templates = shared.get("sketch_templates")
+        if templates is None:
+            raise ConfigurationError(
+                "SketchPolicy requires shared state from make_sketch_shared_state"
+            )
+        entries = int(shared["sketch_entries"])
+        self.sketches: Dict[StreamId, AgmsSketch] = {
+            stream: template.spawn_compatible()
+            for stream, template in templates.items()
+        }
+        self.managers: Dict[StreamId, SnapshotSummaryManager] = {
+            stream: SnapshotSummaryManager(
+                algorithm=ALGORITHM,
+                stream=stream,
+                window_size=context.window_size,
+                entries=entries,
+                refresh_interval=context.config.summary_refresh_interval,
+                outbox=self.outbox,
+                snapshot_fn=lambda s=stream: self.sketches[s].snapshot_counters(),
+            )
+            for stream in (StreamId.R, StreamId.S)
+        }
+        self.remote = RemoteSummaryTable()
+        self._remote_sketches: Dict[Tuple[int, StreamId], AgmsSketch] = {}
+        self.flow = FlowController(context.num_nodes, context.config.flow)
+        self._cached_probabilities: Dict[StreamId, Dict[int, float]] = {}
+        self._arrivals_since_refresh = 0
+
+    # ------------------------------------------------------------------
+    # summary maintenance
+    # ------------------------------------------------------------------
+
+    def on_local_insert(
+        self, item: StreamTuple, evicted: Sequence[StreamTuple]
+    ) -> None:
+        super().on_local_insert(item, evicted)
+        sketch = self.sketches[item.stream]
+        sketch.update(item.key, +1)
+        for old in evicted:
+            sketch.update(old.key, -1)
+        self.managers[item.stream].tick()
+        self._arrivals_since_refresh += 1
+        if self._arrivals_since_refresh >= self.context.config.summary_refresh_interval:
+            self._cached_probabilities.clear()
+            self._arrivals_since_refresh = 0
+
+    def on_evictions(self, stream: StreamId, evicted: Sequence[StreamTuple]) -> None:
+        sketch = self.sketches[stream]
+        for old in evicted:
+            sketch.update(old.key, -1)
+
+    def observe_congestion(self, queue_depth: int) -> None:
+        previous = self.congestion_scale
+        super().observe_congestion(queue_depth)
+        if abs(self.congestion_scale - previous) > 0.1:
+            self._cached_probabilities.clear()
+
+    def on_remote_summary(self, source: int, update: SummaryUpdate) -> None:
+        if update.algorithm != ALGORITHM:
+            return
+        if self.remote.apply(source, update):
+            key = (source, update.stream)
+            if key not in self._remote_sketches:
+                self._remote_sketches[key] = self.sketches[update.stream].spawn_compatible()
+            self._remote_sketches[key].load_counters(update.payload)
+            self.remote.clear_dirty(source, update.stream)
+            self._cached_probabilities.clear()
+
+    def remote_sketch(self, peer: int, stream: StreamId) -> Optional[AgmsSketch]:
+        return self._remote_sketches.get((peer, stream))
+
+    # ------------------------------------------------------------------
+    # join-size-weighted flow factors
+    # ------------------------------------------------------------------
+
+    def peer_similarities(self, stream: StreamId) -> Dict[int, float]:
+        """Normalized estimated join sizes against each peer.
+
+        The AGMS inner product estimates |local_window >< remote_window|;
+        normalizing by the geometric mean of the two self-join sizes maps
+        it into a [0, 1] correlation-like score comparable across peers.
+        """
+        local = self.sketches[stream]
+        local_f2 = max(local.self_join_size_estimate(), 1e-9)
+        similarities: Dict[int, float] = {}
+        for peer in self.peer_ids:
+            remote = self.remote_sketch(peer, stream.other)
+            if remote is None:
+                similarities[peer] = 0.5
+                continue
+            remote_f2 = max(remote.self_join_size_estimate(), 1e-9)
+            estimate = local.join_size_estimate(remote)
+            score = estimate / math.sqrt(local_f2 * remote_f2)
+            similarities[peer] = float(np.clip(score, 0.0, 1.0))
+        return similarities
+
+    def peer_probabilities(self, stream: StreamId) -> Dict[int, float]:
+        cached = self._cached_probabilities.get(stream)
+        if cached is not None:
+            return cached
+        probabilities = self.flow.probabilities(self.peer_similarities(stream))
+        self._cached_probabilities[stream] = probabilities
+        return probabilities
+
+    def choose_destinations(self, item: StreamTuple) -> List[int]:
+        return self._bernoulli_destinations(self.peer_probabilities(item.stream))
+
+    def diagnostics(self) -> Dict[str, float]:
+        counters = super().diagnostics()
+        counters["sketch_broadcasts"] = float(
+            sum(m.broadcasts for m in self.managers.values())
+        )
+        return counters

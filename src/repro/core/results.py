@@ -1,0 +1,87 @@
+"""Run results: everything Section 6's figures are computed from."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.metrics.error import epsilon_error
+
+
+@dataclass
+class RunResult:
+    """Aggregated outcome of one simulated run."""
+
+    config: Dict[str, object]
+    truth_pairs: int
+    reported_pairs: int
+    duplicate_reports: int
+    spurious_reports: int
+    tuples_arrived: int
+    duration_seconds: float
+    arrival_span_seconds: float
+    traffic: Dict[str, float]
+    messages_by_kind: Dict[str, int]
+    node_diagnostics: Dict[int, Dict[str, float]] = field(default_factory=dict)
+    throughput_series: List[Tuple[int, int]] = field(default_factory=list)
+    sustained_throughput: float = 0.0
+    per_query: List[Dict[str, float]] = field(default_factory=list)
+    """Per-query breakdown when the system runs several concurrent
+    queries; empty list means single-query (all headline fields then
+    describe that one query)."""
+
+    latency: Dict[str, float] = field(default_factory=dict)
+    """Result-latency summary (count/mean/p50/p95/max): simulated seconds
+    from a pair's completion (later member's arrival) to its report."""
+
+    @property
+    def epsilon(self) -> float:
+        """Equation 1's error."""
+        return epsilon_error(self.truth_pairs, self.reported_pairs)
+
+    @property
+    def data_messages(self) -> int:
+        """Tuple + standalone-summary messages (the data plane)."""
+        return self.messages_by_kind.get("tuple", 0) + self.messages_by_kind.get(
+            "summary", 0
+        )
+
+    @property
+    def messages_per_result_tuple(self) -> float:
+        """Figure 9's y-axis; infinity when nothing was reported."""
+        if self.reported_pairs == 0:
+            return float("inf")
+        return self.data_messages / self.reported_pairs
+
+    @property
+    def messages_per_arrival(self) -> float:
+        """Observed per-tuple message complexity (Definition I, system-wide)."""
+        if self.tuples_arrived == 0:
+            return 0.0
+        return self.data_messages / self.tuples_arrived
+
+    @property
+    def throughput(self) -> float:
+        """Result tuples per simulated second over the whole run."""
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.reported_pairs / self.duration_seconds
+
+    @property
+    def summary_overhead_fraction(self) -> float:
+        """Figure 8's y-axis: summary bytes over net-data bytes."""
+        return float(self.traffic.get("summary_overhead_fraction", 0.0))
+
+    def summary(self) -> Dict[str, float]:
+        """The headline metrics as one flat dictionary."""
+        return {
+            "epsilon": self.epsilon,
+            "truth_pairs": float(self.truth_pairs),
+            "reported_pairs": float(self.reported_pairs),
+            "messages_per_result_tuple": self.messages_per_result_tuple,
+            "messages_per_arrival": self.messages_per_arrival,
+            "throughput": self.throughput,
+            "sustained_throughput": self.sustained_throughput,
+            "summary_overhead_fraction": self.summary_overhead_fraction,
+            "duration_seconds": self.duration_seconds,
+        }

@@ -1,0 +1,263 @@
+"""Summary dissemination bookkeeping (Figure 7, lines 1-5).
+
+Every filtering policy maintains a compact summary of its local windows
+(DFT coefficients, a counting Bloom filter, or an AGMS sketch) and must
+keep the other N-1 nodes' copies reasonably fresh.  The machinery is the
+same for all of them:
+
+* a per-stream *manager* turns local window updates into
+  :class:`SummaryUpdate` broadcasts at a refresh cadence;
+* a :class:`SummaryOutbox` holds, per peer, the latest not-yet-delivered
+  update for each (algorithm, stream) slot -- newer updates supersede
+  queued ones, exactly like the prototype's "batch of updates";
+* updates are piggy-backed on tuple messages when possible and flushed
+  standalone otherwise (the node runtime decides; see
+  :meth:`repro.core.node.JoinProcessingNode`);
+* a :class:`RemoteSummaryTable` on the receiving side merges updates into
+  the freshest known remote state (Figure 7's "lookup table").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dft.sliding import SlidingDFT, low_frequency_bins
+from repro.errors import SummaryError
+from repro.streams.tuples import StreamId
+
+
+@dataclass
+class SummaryUpdate:
+    """One summary broadcast: the unit piggy-backed onto tuple messages."""
+
+    algorithm: str
+    stream: StreamId
+    version: int
+    window_size: int
+    entries: int
+    payload: Any
+    full_state: bool
+    """Whether the payload replaces remote state (snapshot) or merges
+    into it (coefficient delta)."""
+
+
+class SummaryOutbox:
+    """Latest pending update per (peer, algorithm, stream) slot."""
+
+    def __init__(self, peer_ids: Iterable[int]) -> None:
+        self._pending: Dict[int, Dict[Tuple[str, StreamId], SummaryUpdate]] = {
+            int(peer): {} for peer in peer_ids
+        }
+
+    def broadcast(self, update: SummaryUpdate) -> None:
+        """Queue ``update`` for every peer, superseding older queued ones."""
+        slot = (update.algorithm, update.stream)
+        for queue in self._pending.values():
+            queue[slot] = update
+
+    def queue_for(self, peer: int, update: SummaryUpdate) -> None:
+        """Queue ``update`` for a single peer (retransmissions)."""
+        self._pending[peer][(update.algorithm, update.stream)] = update
+
+    def has_pending(self, peer: int) -> bool:
+        return bool(self._pending[peer])
+
+    def pending_entries(self, peer: int) -> int:
+        """Wire size (summary entries) of everything queued for ``peer``."""
+        return sum(u.entries for u in self._pending[peer].values())
+
+    def take(self, peer: int) -> List[SummaryUpdate]:
+        """Pop and return everything queued for ``peer``."""
+        updates = list(self._pending[peer].values())
+        self._pending[peer].clear()
+        return updates
+
+    def peers_with_pending(self) -> List[int]:
+        return [peer for peer, queue in self._pending.items() if queue]
+
+
+class RemoteSummaryTable:
+    """Receiver-side freshest-known summaries, keyed by (peer, stream)."""
+
+    def __init__(self) -> None:
+        self._state: Dict[Tuple[int, StreamId], Any] = {}
+        self._versions: Dict[Tuple[int, StreamId], int] = {}
+        self._dirty: Dict[Tuple[int, StreamId], bool] = {}
+
+    def apply(self, source: int, update: SummaryUpdate) -> bool:
+        """Merge an incoming update; returns whether state changed.
+
+        Snapshot updates replace state outright; delta updates (DFT
+        coefficient maps) merge bin-by-bin.  Updates older than what is
+        already known are dropped (piggy-backed and standalone copies of
+        the same broadcast may race on different links).
+        """
+        key = (source, update.stream)
+        if self._versions.get(key, -1) >= update.version:
+            return False
+        if update.full_state or key not in self._state:
+            self._state[key] = update.payload
+        else:
+            current = self._state[key]
+            if not isinstance(current, dict) or not isinstance(update.payload, dict):
+                raise SummaryError("delta update over non-mergeable state")
+            merged = dict(current)
+            merged.update(update.payload)
+            self._state[key] = merged
+        self._versions[key] = update.version
+        self._dirty[key] = True
+        return True
+
+    def get(self, source: int, stream: StreamId) -> Optional[Any]:
+        return self._state.get((source, stream))
+
+    def version(self, source: int, stream: StreamId) -> int:
+        return self._versions.get((source, stream), -1)
+
+    def is_dirty(self, source: int, stream: StreamId) -> bool:
+        """Whether state changed since the last :meth:`clear_dirty`."""
+        return self._dirty.get((source, stream), False)
+
+    def clear_dirty(self, source: int, stream: StreamId) -> None:
+        self._dirty[(source, stream)] = False
+
+    def known_peers(self, stream: StreamId) -> List[int]:
+        return [peer for (peer, s) in self._state if s is stream]
+
+
+class DftSummaryManager:
+    """Local sliding DFT + coefficient-delta broadcasting for one stream.
+
+    Figure 7, lines 1-2: incrementally update the coefficients, extract
+    those that changed (by more than ``delta_tolerance``, relatively)
+    since the last broadcast, and hand them to the outbox.
+    """
+
+    ALGORITHM = "dft"
+
+    def __init__(
+        self,
+        stream: StreamId,
+        window_size: int,
+        budget: int,
+        refresh_interval: int,
+        delta_tolerance: float,
+        outbox: SummaryOutbox,
+    ) -> None:
+        if refresh_interval < 1:
+            raise SummaryError("refresh_interval must be >= 1")
+        if delta_tolerance < 0:
+            raise SummaryError("delta_tolerance must be non-negative")
+        self.stream = stream
+        self.window_size = window_size
+        self.refresh_interval = refresh_interval
+        self.delta_tolerance = delta_tolerance
+        self.outbox = outbox
+        bins = low_frequency_bins(window_size, budget)
+        self.dft = SlidingDFT(window_size, tracked_bins=bins)
+        self._last_broadcast: Dict[int, complex] = {}
+        self._updates_since_refresh = 0
+        self._version = 0
+        self.broadcasts = 0
+
+    def observe(self, key: int) -> None:
+        """Feed one locally-arrived attribute value through the summary."""
+        self.dft.update(float(key))
+        self._updates_since_refresh += 1
+        if self._updates_since_refresh >= self.refresh_interval:
+            self._updates_since_refresh = 0
+            self.refresh()
+
+    def refresh(self) -> Optional[SummaryUpdate]:
+        """Broadcast the coefficients that changed materially, if any."""
+        current = self.dft.coefficient_map()
+        changed: Dict[int, complex] = {}
+        for bin_index, value in current.items():
+            previous = self._last_broadcast.get(bin_index)
+            if previous is None or _materially_different(
+                previous, value, self.delta_tolerance
+            ):
+                changed[bin_index] = value
+        if not changed:
+            return None
+        self._last_broadcast.update(changed)
+        self._version += 1
+        update = SummaryUpdate(
+            algorithm=self.ALGORITHM,
+            stream=self.stream,
+            version=self._version,
+            window_size=self.window_size,
+            entries=len(changed),
+            payload=changed,
+            full_state=False,
+        )
+        self.outbox.broadcast(update)
+        self.broadcasts += 1
+        return update
+
+    def local_coefficients(self) -> Dict[int, complex]:
+        """The node's own current coefficient map (for similarity calc)."""
+        return self.dft.coefficient_map()
+
+
+class SnapshotSummaryManager:
+    """Snapshot-style broadcasting shared by the Bloom and sketch baselines.
+
+    Subclasses (or composition users) supply ``snapshot()`` and the wire
+    size; this class handles the cadence and versioning.
+    """
+
+    def __init__(
+        self,
+        algorithm: str,
+        stream: StreamId,
+        window_size: int,
+        entries: int,
+        refresh_interval: int,
+        outbox: SummaryOutbox,
+        snapshot_fn,
+    ) -> None:
+        if refresh_interval < 1:
+            raise SummaryError("refresh_interval must be >= 1")
+        self.algorithm = algorithm
+        self.stream = stream
+        self.window_size = window_size
+        self.entries = entries
+        self.refresh_interval = refresh_interval
+        self.outbox = outbox
+        self._snapshot_fn = snapshot_fn
+        self._updates_since_refresh = 0
+        self._version = 0
+        self.broadcasts = 0
+
+    def tick(self) -> Optional[SummaryUpdate]:
+        """Count one local update; broadcast a snapshot at the cadence."""
+        self._updates_since_refresh += 1
+        if self._updates_since_refresh < self.refresh_interval:
+            return None
+        self._updates_since_refresh = 0
+        return self.refresh()
+
+    def refresh(self) -> SummaryUpdate:
+        self._version += 1
+        update = SummaryUpdate(
+            algorithm=self.algorithm,
+            stream=self.stream,
+            version=self._version,
+            window_size=self.window_size,
+            entries=self.entries,
+            payload=self._snapshot_fn(),
+            full_state=True,
+        )
+        self.outbox.broadcast(update)
+        self.broadcasts += 1
+        return update
+
+
+def _materially_different(previous: complex, current: complex, tolerance: float) -> bool:
+    """Relative-change test used for coefficient-delta extraction."""
+    scale = max(abs(previous), abs(current), 1.0)
+    return abs(current - previous) > tolerance * scale

@@ -1,0 +1,291 @@
+"""The distributed join system: configuration in, :class:`RunResult` out.
+
+:class:`DistributedJoinSystem` assembles the full stack -- simulated WAN,
+nodes, policies with shared hash state, workload generator, geographic
+partitioner, ground-truth oracle -- schedules every tuple arrival, runs
+the event loop to completion (all queues drained), and aggregates the
+metrics of Section 6.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+from repro.metrics.error import epsilon_error
+
+from repro._rng import ensure_rng, spawn
+from repro.config import SystemConfig, WorkloadConfig, WorkloadKind
+from repro.core.node import JoinProcessingNode
+from repro.core.policies import PolicyContext, make_policy, make_shared_state
+from repro.core.results import RunResult
+from repro.errors import ConfigurationError
+from repro.join.ground_truth import GroundTruthOracle
+from repro.metrics.accounting import ResultCollector
+from repro.net.simulator import EventScheduler
+from repro.net.topology import Network
+from repro.streams.financial import FinancialStreamConfig, financial_stream
+from repro.streams.generators import uniform_stream, zipf_stream
+from repro.streams.network import NetworkTraceConfig, network_trace_stream
+from repro.streams.partitioner import GeographicPartitioner, PartitionerConfig
+from repro.streams.tuples import StreamId, StreamTuple
+
+
+def build_key_stream(workload: WorkloadConfig, rng: np.random.Generator) -> Iterator[int]:
+    """The joining-attribute generator for each Section 6 workload."""
+    if workload.kind is WorkloadKind.UNIFORM:
+        return uniform_stream(domain=workload.domain, rng=rng)
+    if workload.kind is WorkloadKind.ZIPF:
+        return zipf_stream(
+            domain=workload.domain,
+            alpha=workload.alpha,
+            rng=rng,
+            permute=workload.permute_zipf_ranks,
+        )
+    if workload.kind is WorkloadKind.FINANCIAL:
+        config = FinancialStreamConfig(
+            initial_price=max(1, workload.domain // 2),
+            min_price=1,
+            max_price=workload.domain,
+            tick_std=max(2.0, workload.domain / 4096.0),
+        )
+        return financial_stream(config, rng=rng)
+    if workload.kind is WorkloadKind.NETWORK:
+        config = NetworkTraceConfig(
+            domain=workload.domain,
+            heavy_flows=min(256, max(8, workload.domain // 64)),
+        )
+        return network_trace_stream(config, rng=rng)
+    if workload.kind is WorkloadKind.REPLAY:
+        from repro.streams.replay import load_trace, replay_stream
+
+        keys = load_trace(workload.trace_path)
+        if int(keys.max()) > workload.domain:
+            raise ConfigurationError(
+                "trace keys reach %d, outside the configured domain %d"
+                % (int(keys.max()), workload.domain)
+            )
+        return replay_stream(workload.trace_path)
+    raise ConfigurationError("unknown workload kind %r" % workload.kind)
+
+
+class DistributedJoinSystem:
+    """End-to-end assembly and execution of one experiment run."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        config.validate()
+        self.config = config
+        root_rng = ensure_rng(config.seed)
+        (
+            self._workload_rng,
+            self._partitioner_rng,
+            self._network_rng,
+            self._shared_rng,
+            policy_parent_rng,
+            self._schedule_rng,
+        ) = spawn(root_rng, 6)
+        self.scheduler = EventScheduler()
+        self.network = Network(self.scheduler, spec=config.link, rng=self._network_rng)
+        self.oracles: List[GroundTruthOracle] = [
+            GroundTruthOracle() for _ in range(config.num_queries)
+        ]
+        self.collectors: List[ResultCollector] = [
+            ResultCollector() for _ in range(config.num_queries)
+        ]
+        self.partitioner = GeographicPartitioner(
+            PartitionerConfig(
+                num_nodes=config.num_nodes,
+                domain=config.workload.domain,
+                skew=config.workload.skew,
+                spread=config.workload.spread,
+            ),
+            rng=self._partitioner_rng,
+        )
+        shared_rngs = spawn(self._shared_rng, config.num_queries)
+        shared_states = [
+            make_shared_state(config.policy, config.window_size, rng=shared_rngs[q])
+            for q in range(config.num_queries)
+        ]
+        policy_rngs = spawn(policy_parent_rng, config.num_nodes * config.num_queries)
+        self.nodes: List[JoinProcessingNode] = []
+        all_ids = tuple(range(config.num_nodes))
+        for node_id in all_ids:
+            node: Optional[JoinProcessingNode] = None
+            for query_id in range(config.num_queries):
+                context = PolicyContext(
+                    node_id=node_id,
+                    peer_ids=tuple(p for p in all_ids if p != node_id),
+                    window_size=config.window_size,
+                    domain=config.workload.domain,
+                    config=config.policy,
+                    rng=policy_rngs[node_id * config.num_queries + query_id],
+                )
+                policy = make_policy(context, shared_states[query_id])
+                if node is None:
+                    node = JoinProcessingNode(
+                        node_id=node_id,
+                        config=config,
+                        scheduler=self.scheduler,
+                        network=self.network,
+                        policy=policy,
+                        oracle=self.oracles[query_id],
+                        collector=self.collectors[query_id],
+                    )
+                else:
+                    node.add_query(
+                        query_id,
+                        policy,
+                        self.oracles[query_id],
+                        self.collectors[query_id],
+                    )
+            self.network.register(node_id, node)
+            self.nodes.append(node)
+        self._tuples_scheduled = 0
+        self._arrival_span = 0.0
+
+    # Single-query conveniences (the common case and the test surface).
+
+    @property
+    def oracle(self) -> GroundTruthOracle:
+        return self.oracles[0]
+
+    @property
+    def collector(self) -> ResultCollector:
+        return self.collectors[0]
+
+    # ------------------------------------------------------------------
+    # workload scheduling
+    # ------------------------------------------------------------------
+
+    def disseminate_query(self) -> None:
+        """Broadcast the join query to every node (Section 3).
+
+        The paper's queries reach all nodes holding relevant stream
+        segments before processing starts; one CONTROL message per peer
+        models that handshake (and is what seeds the shared summary hash
+        state conceptually -- the actual shared objects are built in the
+        constructor).
+        """
+        from repro.net.message import Message, MessageKind
+
+        for destination in range(1, self.config.num_nodes):
+            self.network.send(
+                Message(
+                    kind=MessageKind.CONTROL,
+                    source=0,
+                    destination=destination,
+                    payload=(0, None, []),
+                )
+            )
+
+    def schedule_workload(self) -> None:
+        """Create every arrival event up front (Poisson arrivals, fair
+        R/S interleave, geographically-skewed node placement).
+
+        With multiple queries, each query gets an independent key stream
+        and its even share of the tuple count and arrival rate.
+        """
+        self.disseminate_query()
+        workload = self.config.workload
+        num_queries = self.config.num_queries
+        workload_rngs = spawn(self._workload_rng, num_queries)
+        schedule_rngs = spawn(self._schedule_rng, num_queries)
+        base = workload.total_tuples // num_queries
+        remainder = workload.total_tuples % num_queries
+        per_query_rate = workload.arrival_rate / num_queries
+        arrival_index = 0
+        last_time = 0.0
+        for query_id in range(num_queries):
+            count = base + (1 if query_id < remainder else 0)
+            if count == 0:
+                continue
+            keys = build_key_stream(workload, workload_rngs[query_id])
+            gaps = schedule_rngs[query_id].exponential(
+                1.0 / per_query_rate, size=count
+            )
+            times = np.cumsum(gaps)
+            key_batch = list(itertools.islice(keys, count))
+            nodes = self.partitioner.assign(key_batch)
+            streams = schedule_rngs[query_id].random(count) < 0.5
+            for index in range(count):
+                item = StreamTuple(
+                    stream=StreamId.R if streams[index] else StreamId.S,
+                    key=int(key_batch[index]),
+                    origin_node=int(nodes[index]),
+                    arrival_index=arrival_index,
+                    query_id=query_id,
+                )
+                arrival_index += 1
+                node = self.nodes[item.origin_node]
+                self.scheduler.schedule_at(
+                    float(times[index]), lambda n=node, t=item: n.on_local_arrival(t)
+                )
+            last_time = max(last_time, float(times[-1]))
+        self._tuples_scheduled = workload.total_tuples
+        self._arrival_span = last_time
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Schedule (if needed), drain the event loop, aggregate metrics."""
+        if self._tuples_scheduled == 0:
+            self.schedule_workload()
+        self.scheduler.run()
+        return self._collect()
+
+    def _collect(self) -> RunResult:
+        stats = self.network.stats
+        merged_series: Dict[int, int] = {}
+        for collector in self.collectors:
+            for second, count in collector.throughput.series():
+                merged_series[second] = merged_series.get(second, 0) + count
+        series = sorted(merged_series.items())
+        counts = sorted((count for _, count in series), reverse=True)
+        keep = max(1, len(counts) // 2)
+        sustained = sum(counts[:keep]) / keep if counts else 0.0
+        per_query = [
+            {
+                "query_id": float(query_id),
+                "truth_pairs": float(oracle.total_result_pairs),
+                "reported_pairs": float(collector.reported_pairs),
+                "epsilon": epsilon_error(
+                    oracle.total_result_pairs, collector.reported_pairs
+                ),
+            }
+            for query_id, (oracle, collector) in enumerate(
+                zip(self.oracles, self.collectors)
+            )
+        ]
+        from repro.metrics.latency import LatencyTracker
+
+        merged_latency = LatencyTracker()
+        for collector in self.collectors:
+            merged_latency.merge(collector.latency)
+        return RunResult(
+            config=self.config.as_dict(),
+            truth_pairs=sum(o.total_result_pairs for o in self.oracles),
+            reported_pairs=sum(c.reported_pairs for c in self.collectors),
+            duplicate_reports=sum(c.duplicates for c in self.collectors),
+            spurious_reports=sum(c.spurious for c in self.collectors),
+            tuples_arrived=sum(o.tuples_observed for o in self.oracles),
+            duration_seconds=self.scheduler.now,
+            arrival_span_seconds=self._arrival_span,
+            traffic=stats.as_dict(),
+            messages_by_kind=dict(stats.messages_by_kind),
+            node_diagnostics={
+                node.node_id: node.diagnostics() for node in self.nodes
+            },
+            throughput_series=series,
+            sustained_throughput=sustained,
+            per_query=per_query,
+            latency=merged_latency.snapshot(),
+        )
+
+
+def run_experiment(config: SystemConfig) -> RunResult:
+    """One-call convenience: build, run, and return the result."""
+    return DistributedJoinSystem(config).run()

@@ -1,0 +1,176 @@
+"""Incremental (sliding) DFT.
+
+The summary maintained here is the DFT of the window's *circular buffer*:
+sample positions are fixed slots ``0..W-1`` and an arriving tuple
+overwrites the oldest slot ``p``.  Each tracked coefficient then updates
+in O(1)::
+
+    X_k  +=  (x_new - x_old) * exp(-2j*pi*k*p / W)
+
+This "anchored" formulation is a phase rotation away from the
+chronologically-indexed window DFT (time-shift property), so coefficient
+*magnitudes*, power spectra, and the reconstructed value multiset are
+identical -- everything Sections 5.2/5.3 consume.  Its decisive advantage
+for the distributed protocol is that coefficients change **only in
+proportion to the content that actually changed**: a window that turned
+over k samples since the last broadcast perturbs each coefficient by the
+k sample deltas, not by a wholesale phase rotation.  That is what makes
+Figure 7's "extract the coefficients that changed" delta suppression
+effective (and Figure 8's overhead small).
+
+Tracking only the K = W/kappa lowest-frequency bins makes each tuple cost
+O(K) regardless of W -- this is the "iDFT" column of Table 1.  Because
+the joining-attribute signal is real, every untracked conjugate bin
+X[W - k] = conj(X[k]) is implied for free, so transmitting K coefficients
+conveys nearly 2K bins (Section 5.3's compression arithmetic).
+
+Floating-point drift accrues on the order of 1e-16 per update per
+coefficient (the paper cites [4] for the same bound), so the window is
+fully recomputed at the cadence prescribed by a
+:class:`~repro.dft.control.ControlVector`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.dft.control import ControlVector
+from repro.errors import SummaryError
+
+
+def low_frequency_bins(window_size: int, count: int) -> np.ndarray:
+    """The ``count`` lowest-frequency bin indices: 0, 1, ..., count - 1.
+
+    Bin 0 is the DC term (window sum); bin k oscillates k times per window.
+    ``count`` is clamped to the number of non-redundant bins of a real
+    signal (W//2 + 1); beyond that the conjugate symmetry makes extra bins
+    pure redundancy.
+    """
+    if window_size < 1:
+        raise SummaryError("window_size must be >= 1")
+    if count < 1:
+        raise SummaryError("must track at least one bin")
+    limit = window_size // 2 + 1
+    return np.arange(min(count, limit), dtype=np.int64)
+
+
+class SlidingDFT:
+    """Per-tuple incremental DFT over a count window of fixed size.
+
+    Until the window first fills, slots are written in order (the window
+    is conceptually zero-padded to W); once full, each arrival overwrites
+    the oldest slot, applying the O(1) anchored update above.
+    """
+
+    def __init__(
+        self,
+        window_size: int,
+        tracked_bins: Optional[Sequence[int]] = None,
+        control: Optional[ControlVector] = None,
+    ) -> None:
+        if window_size < 1:
+            raise SummaryError("window_size must be >= 1")
+        self.window_size = window_size
+        if tracked_bins is None:
+            bins = np.arange(window_size, dtype=np.int64)
+        else:
+            bins = np.asarray(sorted(set(int(b) for b in tracked_bins)), dtype=np.int64)
+            if bins.size == 0:
+                raise SummaryError("tracked_bins must be non-empty")
+            if bins.min() < 0 or bins.max() >= window_size:
+                raise SummaryError("tracked bins must lie in [0, window_size)")
+        self._bins = bins
+        self._coefficients = np.zeros(bins.size, dtype=np.complex128)
+        self._buffer = np.zeros(window_size, dtype=np.float64)
+        self._position = 0
+        self._filled = 0
+        # Per-slot phases are cycled through in slot order; precomputing
+        # the full W x K table would cost O(W*K) memory, so compute the
+        # phase row for the current slot on demand from the base angles.
+        self._base_angle = -2j * np.pi * bins / window_size
+        self.control = control if control is not None else ControlVector.default(window_size)
+        self.updates_since_recompute = 0
+        self.total_updates = 0
+        self.full_recomputes = 0
+
+    @property
+    def bins(self) -> np.ndarray:
+        """Tracked bin indices (ascending)."""
+        return self._bins
+
+    @property
+    def is_full(self) -> bool:
+        return self._filled == self.window_size
+
+    def __len__(self) -> int:
+        return self._filled
+
+    def update(self, value: float) -> None:
+        """Write one sample into the circular buffer; update tracked bins."""
+        value = float(value)
+        old = self._buffer[self._position]
+        phase = np.exp(self._base_angle * self._position)
+        self._coefficients += (value - old) * phase
+        self._buffer[self._position] = value
+        self._position = (self._position + 1) % self.window_size
+        if self._filled < self.window_size:
+            self._filled += 1
+        self.total_updates += 1
+        self.updates_since_recompute += 1
+        if self.control.should_recompute(self.updates_since_recompute):
+            self.recompute()
+
+    def extend(self, values) -> None:
+        """Feed a batch of samples through :meth:`update`."""
+        for value in values:
+            self.update(value)
+
+    def recompute(self) -> None:
+        """Exact recomputation of the tracked bins from the stored buffer.
+
+        This is the periodic drift reset the control vector schedules; it
+        costs one FFT (O(W log W)) amortized over the recompute interval.
+        """
+        spectrum = np.fft.fft(self._buffer)
+        self._coefficients = spectrum[self._bins]
+        self.updates_since_recompute = 0
+        self.full_recomputes += 1
+
+    def coefficients(self) -> np.ndarray:
+        """Current tracked coefficients (copy), aligned with :attr:`bins`."""
+        return self._coefficients.copy()
+
+    def coefficient_map(self) -> Dict[int, complex]:
+        """``{bin_index: coefficient}`` for the tracked bins."""
+        return {int(k): complex(c) for k, c in zip(self._bins, self._coefficients)}
+
+    def exact_coefficients(self) -> np.ndarray:
+        """Drift-free reference values of the tracked bins (for testing)."""
+        return np.fft.fft(self._buffer)[self._bins]
+
+    def drift(self) -> float:
+        """Max absolute deviation of tracked bins from their exact values."""
+        exact = self.exact_coefficients()
+        return float(np.max(np.abs(self._coefficients - exact))) if exact.size else 0.0
+
+    def buffer_values(self) -> np.ndarray:
+        """The raw sample buffer in *slot* order (copy).
+
+        This is the sequence whose DFT the coefficients are: the
+        reconstruction of :func:`repro.dft.reconstruction.reconstruct_values`
+        aligns with it position-by-position.  While the window is still
+        filling, only the written slots are returned.
+        """
+        if self._filled < self.window_size:
+            return self._buffer[: self._filled].copy()
+        return self._buffer.copy()
+
+    def window_values(self) -> np.ndarray:
+        """The samples in chronological order, oldest first (copy)."""
+        if self._filled < self.window_size:
+            return self._buffer[: self._filled].copy()
+        return np.concatenate(
+            [self._buffer[self._position :], self._buffer[: self._position]]
+        )

@@ -1,0 +1,32 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or system was configured with inconsistent parameters."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was driven into an invalid state."""
+
+
+class WindowError(ReproError):
+    """A sliding-window operation violated the window's invariants."""
+
+
+class SummaryError(ReproError):
+    """A stream summary (DFT / sketch / Bloom filter) was misused."""
+
+
+class CalibrationError(ReproError):
+    """An operating-point calibration search failed to converge."""

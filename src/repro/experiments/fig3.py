@@ -1,0 +1,66 @@
+"""Figure 3: analytical error bounds and message complexity, uniform data.
+
+Theorems 1 and 2 bound the error under the worst case (uniformly
+distributed joining attributes) for the two budget regimes T_i = 1 and
+T_i = log N; Figure 3(b) contrasts their message complexity with the
+baseline's N - 1.  Pure closed forms -- no simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.bounds import (
+    Budget,
+    baseline_message_complexity,
+    uniform_error_bound,
+    uniform_message_complexity,
+)
+from repro.experiments.reporting import format_table
+
+
+@dataclass(frozen=True)
+class Fig3Row:
+    """One x-axis point of Figures 3(a) and 3(b)."""
+
+    num_nodes: int
+    error_t1: float
+    error_tlog: float
+    messages_t1: float
+    messages_tlog: float
+    messages_baseline: float
+
+
+def run(max_nodes: int = 50) -> List[Fig3Row]:
+    """Evaluate the bounds for N = 2..max_nodes."""
+    rows = []
+    for n in range(2, max_nodes + 1):
+        rows.append(
+            Fig3Row(
+                num_nodes=n,
+                error_t1=uniform_error_bound(n, Budget.CONSTANT),
+                error_tlog=uniform_error_bound(n, Budget.LOGARITHMIC),
+                messages_t1=uniform_message_complexity(n, Budget.CONSTANT),
+                messages_tlog=uniform_message_complexity(n, Budget.LOGARITHMIC),
+                messages_baseline=baseline_message_complexity(n),
+            )
+        )
+    return rows
+
+
+def format_result(rows: Sequence[Fig3Row]) -> str:
+    return format_table(
+        ["N", "eps(T=1)", "eps(T=logN)", "msgs(T=1)", "msgs(T=logN)", "msgs(BASE)"],
+        [
+            (
+                row.num_nodes,
+                row.error_t1,
+                row.error_tlog,
+                row.messages_t1,
+                row.messages_tlog,
+                row.messages_baseline,
+            )
+            for row in rows
+        ],
+    )

@@ -1,0 +1,68 @@
+"""Figure 6: mean-square reconstruction error vs compression factor.
+
+The paper sweeps kappa, plots E[MSE] with one-standard-deviation error
+bars, draws the lossless line at 0.25, and reads off kappa = 256 as the
+largest factor under the line for the stock stream.  This module runs the
+same sweep on the synthetic FIN stream and reports the chosen factor via
+:func:`repro.core.compression.choose_compression_factor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.core.compression import (
+    LOSSLESS_MSE_THRESHOLD,
+    CompressionSweepPoint,
+    choose_compression_factor,
+    mse_statistics,
+)
+from repro.experiments.fig5 import stock_signal
+from repro.experiments.reporting import format_table
+
+DEFAULT_KAPPAS = (4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    """The sweep plus the selected operating point."""
+
+    points: Tuple[CompressionSweepPoint, ...]
+    chosen_kappa: int
+    threshold: float = LOSSLESS_MSE_THRESHOLD
+
+
+def run(
+    window: int = 8192,
+    kappas: Sequence[int] = DEFAULT_KAPPAS,
+    seed: int = 2007,
+) -> Fig6Result:
+    """MSE statistics across the kappa grid on the FIN stream."""
+    signal = stock_signal(window, seed)
+    usable = [k for k in kappas if window // k >= 1]
+    points = mse_statistics(signal, usable)
+    chosen = choose_compression_factor(signal, usable)
+    return Fig6Result(points=points, chosen_kappa=chosen)
+
+
+def format_result(result: Fig6Result) -> str:
+    table = format_table(
+        ["kappa", "coeffs", "E[MSE]", "std", "frac<0.25", "lossless"],
+        [
+            (
+                p.kappa,
+                p.budget,
+                p.mean_mse,
+                p.std_mse,
+                p.lossless_fraction,
+                p.is_lossless,
+            )
+            for p in result.points
+        ],
+    )
+    return "%s\nthreshold E[MSE] < %.2f -> chosen kappa = %d" % (
+        table,
+        result.threshold,
+        result.chosen_kappa,
+    )

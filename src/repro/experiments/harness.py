@@ -1,0 +1,155 @@
+"""Shared experiment scaffolding: scales and config builders.
+
+The paper's testbed runs windows of 2^19 tuples over 10M-tuple streams on
+twenty workstations.  A pure-Python reproduction sweeps many (algorithm,
+N, kappa) combinations, so each experiment accepts a *scale* preset:
+
+* ``smoke``   -- seconds; used by the integration tests;
+* ``default`` -- a couple of minutes per figure; the benchmark suite;
+* ``full``    -- the closest laptop-friendly approximation of the paper.
+
+All scaled runs keep the paper's *ratios* (window vs domain vs stream
+length, kappa grid relative to W) so the figure shapes are preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+from repro.config import (
+    Algorithm,
+    PolicyConfig,
+    SystemConfig,
+    WorkloadConfig,
+    WorkloadKind,
+)
+from repro.core.flow import FlowSettings
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Size preset for the Section 6 reproductions."""
+
+    name: str
+    window_size: int
+    domain: int
+    total_tuples: int
+    arrival_rate: float
+    node_grid: Tuple[int, ...]
+    kappa_grid: Tuple[int, ...]
+    signal_length: int
+    """Window length used by the pure-DFT analyses (Figures 5 and 6)."""
+
+    default_kappa: int
+    """The 'kappa = 256 equivalent' at this scale (same W/kappa ratio)."""
+
+    seed: int = 2007
+
+
+SCALES: Dict[str, ExperimentScale] = {
+    "smoke": ExperimentScale(
+        name="smoke",
+        window_size=128,
+        domain=1024,
+        total_tuples=2_000,
+        arrival_rate=300.0,
+        node_grid=(2, 4),
+        kappa_grid=(2, 8, 32),
+        signal_length=1024,
+        default_kappa=16,
+    ),
+    "bench": ExperimentScale(
+        name="bench",
+        window_size=256,
+        domain=2048,
+        total_tuples=4_000,
+        arrival_rate=250.0,
+        node_grid=(4, 8),
+        kappa_grid=(2, 4, 8, 16, 32, 64),
+        signal_length=4096,
+        default_kappa=32,
+    ),
+    "default": ExperimentScale(
+        name="default",
+        window_size=512,
+        domain=4096,
+        total_tuples=8_000,
+        arrival_rate=250.0,
+        node_grid=(4, 8, 12),
+        kappa_grid=(2, 4, 8, 16, 32, 64, 128),
+        signal_length=8192,
+        default_kappa=64,
+    ),
+    "full": ExperimentScale(
+        name="full",
+        window_size=1024,
+        domain=2**16,
+        total_tuples=30_000,
+        arrival_rate=250.0,
+        node_grid=(2, 4, 8, 12, 16, 20),
+        kappa_grid=(2, 4, 8, 16, 32, 64, 128, 256),
+        signal_length=80_000,
+        default_kappa=128,
+    ),
+}
+
+
+def get_scale(scale: str = "default") -> ExperimentScale:
+    """Look up a preset by name."""
+    if scale not in SCALES:
+        raise ConfigurationError(
+            "unknown scale %r (choose from %s)" % (scale, sorted(SCALES))
+        )
+    return SCALES[scale]
+
+
+def system_config(
+    scale: ExperimentScale,
+    algorithm: Algorithm,
+    num_nodes: int,
+    kappa: float = 0.0,
+    workload_kind: WorkloadKind = WorkloadKind.ZIPF,
+    budget_override: float = 0.0,
+    arrival_rate: float = 0.0,
+    total_tuples: int = 0,
+    seed_offset: int = 0,
+) -> SystemConfig:
+    """One experiment run's configuration, derived from a scale preset."""
+    policy = PolicyConfig(
+        algorithm=algorithm,
+        kappa=kappa if kappa > 0 else float(scale.default_kappa),
+        flow=FlowSettings(budget_override=budget_override),
+    )
+    workload = WorkloadConfig(
+        kind=workload_kind,
+        total_tuples=total_tuples if total_tuples > 0 else scale.total_tuples,
+        domain=scale.domain,
+        arrival_rate=arrival_rate if arrival_rate > 0 else scale.arrival_rate,
+    )
+    return SystemConfig(
+        num_nodes=num_nodes,
+        window_size=scale.window_size,
+        policy=policy,
+        workload=workload,
+        seed=scale.seed + seed_offset,
+    )
+
+
+COMPARED_ALGORITHMS: Tuple[Algorithm, ...] = (
+    Algorithm.BASE,
+    Algorithm.DFT,
+    Algorithm.DFTT,
+    Algorithm.BLOOM,
+    Algorithm.SKCH,
+)
+"""The five algorithms of the Section 6 comparisons (Figure 9/10/11)."""
+
+FILTERED_ALGORITHMS: Tuple[Algorithm, ...] = (
+    Algorithm.DFT,
+    Algorithm.DFTT,
+    Algorithm.BLOOM,
+    Algorithm.SKCH,
+)
+"""The four approximate algorithms (BASE is the exact comparator)."""

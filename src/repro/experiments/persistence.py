@@ -1,0 +1,94 @@
+"""Result persistence: RunResult to/from JSON.
+
+Experiment sweeps are expensive; persisting their results lets reports
+and regression comparisons run without re-simulating.  The format is a
+plain JSON object mirroring :class:`~repro.core.results.RunResult`'s
+fields, with integer node keys stringified (JSON objects key on strings)
+and restored on load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+from repro.core.results import RunResult
+from repro.errors import ConfigurationError
+
+FORMAT_VERSION = 1
+
+
+def result_to_dict(result: RunResult) -> dict:
+    """JSON-ready dictionary capturing the full result."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "config": result.config,
+        "truth_pairs": result.truth_pairs,
+        "reported_pairs": result.reported_pairs,
+        "duplicate_reports": result.duplicate_reports,
+        "spurious_reports": result.spurious_reports,
+        "tuples_arrived": result.tuples_arrived,
+        "duration_seconds": result.duration_seconds,
+        "arrival_span_seconds": result.arrival_span_seconds,
+        "traffic": {k: float(v) for k, v in result.traffic.items()},
+        "messages_by_kind": dict(result.messages_by_kind),
+        "node_diagnostics": {
+            str(node): {k: float(v) for k, v in diagnostics.items()}
+            for node, diagnostics in result.node_diagnostics.items()
+        },
+        "throughput_series": [list(point) for point in result.throughput_series],
+        "sustained_throughput": result.sustained_throughput,
+        "per_query": result.per_query,
+        "latency": result.latency,
+    }
+
+
+def result_from_dict(payload: dict) -> RunResult:
+    """Rebuild a :class:`RunResult` from :func:`result_to_dict` output."""
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ConfigurationError(
+            "unsupported result format version %r (expected %d)"
+            % (version, FORMAT_VERSION)
+        )
+    return RunResult(
+        config=payload["config"],
+        truth_pairs=int(payload["truth_pairs"]),
+        reported_pairs=int(payload["reported_pairs"]),
+        duplicate_reports=int(payload["duplicate_reports"]),
+        spurious_reports=int(payload["spurious_reports"]),
+        tuples_arrived=int(payload["tuples_arrived"]),
+        duration_seconds=float(payload["duration_seconds"]),
+        arrival_span_seconds=float(payload["arrival_span_seconds"]),
+        traffic=payload["traffic"],
+        messages_by_kind={k: int(v) for k, v in payload["messages_by_kind"].items()},
+        node_diagnostics={
+            int(node): diagnostics
+            for node, diagnostics in payload["node_diagnostics"].items()
+        },
+        throughput_series=[tuple(point) for point in payload["throughput_series"]],
+        sustained_throughput=float(payload["sustained_throughput"]),
+        per_query=payload.get("per_query", []),
+        latency=payload.get("latency", {}),
+    )
+
+
+def save_results(results: List[RunResult], path: Union[str, Path]) -> None:
+    """Write a list of results to a JSON file."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "results": [result_to_dict(result) for result in results],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, default=float))
+
+
+def load_results(path: Union[str, Path]) -> List[RunResult]:
+    """Read results previously written by :func:`save_results`."""
+    file_path = Path(path)
+    if not file_path.exists():
+        raise ConfigurationError("no results file at %s" % file_path)
+    payload = json.loads(file_path.read_text())
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise ConfigurationError("unsupported results file version")
+    return [result_from_dict(entry) for entry in payload["results"]]

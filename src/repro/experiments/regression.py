@@ -1,0 +1,146 @@
+"""Regression comparison between two result sets.
+
+Workflow: save a sweep's results with
+:func:`repro.experiments.persistence.save_results` as the baseline; after
+changing the code, rerun the sweep and diff against the baseline.  Runs
+are matched by their configuration echo (minus the fields expected to
+vary), and each headline metric's drift is reported against a relative
+tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.results import RunResult
+from repro.errors import ConfigurationError
+from repro.experiments.reporting import format_table
+
+MATCH_FIELDS = (
+    "algorithm",
+    "num_nodes",
+    "window_size",
+    "kappa",
+    "workload",
+    "total_tuples",
+    "seed",
+)
+"""Config fields that identify 'the same run' across code versions."""
+
+COMPARED_METRICS = (
+    "epsilon",
+    "messages_per_result_tuple",
+    "messages_per_arrival",
+    "throughput",
+    "summary_overhead_fraction",
+)
+
+
+def run_key(result: RunResult) -> Tuple:
+    """The identity of a run for baseline matching."""
+    return tuple(result.config.get(field) for field in MATCH_FIELDS)
+
+
+@dataclass(frozen=True)
+class MetricDrift:
+    """One metric's change between baseline and candidate."""
+
+    key: Tuple
+    metric: str
+    baseline: float
+    candidate: float
+    tolerance: float
+
+    @property
+    def relative_change(self) -> float:
+        scale = max(abs(self.baseline), 1e-12)
+        return (self.candidate - self.baseline) / scale
+
+    @property
+    def within_tolerance(self) -> bool:
+        return abs(self.relative_change) <= self.tolerance
+
+
+@dataclass
+class RegressionReport:
+    """Outcome of comparing two result sets."""
+
+    drifts: List[MetricDrift]
+    unmatched_baseline: List[Tuple]
+    unmatched_candidate: List[Tuple]
+
+    @property
+    def regressions(self) -> List[MetricDrift]:
+        return [drift for drift in self.drifts if not drift.within_tolerance]
+
+    @property
+    def passed(self) -> bool:
+        return not self.regressions and not self.unmatched_baseline
+
+    def format(self) -> str:
+        rows = [
+            (
+                "/".join(str(part) for part in drift.key[:2]),
+                drift.metric,
+                drift.baseline,
+                drift.candidate,
+                100 * drift.relative_change,
+                drift.within_tolerance,
+            )
+            for drift in self.drifts
+        ]
+        table = format_table(
+            ["run", "metric", "baseline", "candidate", "drift %", "ok"], rows
+        )
+        footer = "\n%d regression(s); %d unmatched baseline run(s)" % (
+            len(self.regressions),
+            len(self.unmatched_baseline),
+        )
+        return table + footer
+
+
+def compare(
+    baseline: Sequence[RunResult],
+    candidate: Sequence[RunResult],
+    tolerance: float = 0.10,
+    metrics: Sequence[str] = COMPARED_METRICS,
+) -> RegressionReport:
+    """Match runs by configuration and diff their headline metrics."""
+    if tolerance < 0:
+        raise ConfigurationError("tolerance must be non-negative")
+    baseline_by_key: Dict[Tuple, RunResult] = {}
+    for result in baseline:
+        key = run_key(result)
+        if key in baseline_by_key:
+            raise ConfigurationError("duplicate baseline run %r" % (key,))
+        baseline_by_key[key] = result
+
+    drifts: List[MetricDrift] = []
+    matched = set()
+    unmatched_candidate = []
+    for result in candidate:
+        key = run_key(result)
+        reference = baseline_by_key.get(key)
+        if reference is None:
+            unmatched_candidate.append(key)
+            continue
+        matched.add(key)
+        reference_summary = reference.summary()
+        candidate_summary = result.summary()
+        for metric in metrics:
+            drifts.append(
+                MetricDrift(
+                    key=key,
+                    metric=metric,
+                    baseline=float(reference_summary[metric]),
+                    candidate=float(candidate_summary[metric]),
+                    tolerance=tolerance,
+                )
+            )
+    unmatched_baseline = [key for key in baseline_by_key if key not in matched]
+    return RegressionReport(
+        drifts=drifts,
+        unmatched_baseline=unmatched_baseline,
+        unmatched_candidate=unmatched_candidate,
+    )

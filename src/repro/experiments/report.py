@@ -1,0 +1,154 @@
+"""Command-line reproduction report: every table and figure in one run.
+
+Usage::
+
+    python -m repro.experiments.report [scale] [--only table1,fig3,...]
+
+``scale`` is ``smoke``, ``bench``, ``default`` (the default) or ``full``.
+The analytic experiments (Table 1, Figures 3-6) ignore the scale's
+simulation parameters and use their own signal sizes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.config import WorkloadKind
+from repro.experiments import fig3, fig4, fig5, fig6, fig8, fig9, fig10, fig11, table1
+from repro.experiments.ascii_plot import line_chart
+
+ALL_EXPERIMENTS = (
+    "table1",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+)
+
+
+def _banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def run_report(scale: str, only) -> None:
+    selected = set(only) if only else set(ALL_EXPERIMENTS)
+    started = time.time()
+
+    if "table1" in selected:
+        _banner("Table 1 -- CPU time: full DFT vs incremental DFT vs AGMS")
+        print(table1.format_result(table1.run()))
+
+    if "fig3" in selected:
+        _banner("Figure 3 -- uniform-data bounds (Theorems 1-2)")
+        rows = fig3.run(50)
+        print(fig3.format_result(rows[:8] + rows[-8:]))
+        print()
+        print(
+            line_chart(
+                {
+                    "eps T=1": [(r.num_nodes, r.error_t1) for r in rows],
+                    "eps T=logN": [(r.num_nodes, r.error_tlog) for r in rows],
+                },
+                y_label="epsilon (uniform)",
+            )
+        )
+
+    if "fig4" in selected:
+        _banner("Figure 4 -- Zipf-data bounds (Theorem 3, alpha = 0.4)")
+        zipf_rows = fig4.run(20)
+        print(fig4.format_result(zipf_rows))
+        print()
+        print(
+            line_chart(
+                {
+                    "zipf O(1)": [(r.num_nodes, r.error_o1) for r in zipf_rows],
+                    "zipf O(logN)": [(r.num_nodes, r.error_olog) for r in zipf_rows],
+                    "uniform O(logN)": [
+                        (r.num_nodes, r.uniform_error_olog) for r in zipf_rows
+                    ],
+                },
+                y_label="epsilon",
+            )
+        )
+
+    if "fig5" in selected:
+        _banner("Figure 5 -- reconstruction squared errors (stock stream)")
+        print(fig5.format_result(fig5.run()))
+
+    if "fig6" in selected:
+        _banner("Figure 6 -- E[MSE] vs compression factor (0.25 line)")
+        print(fig6.format_result(fig6.run()))
+
+    if "fig8" in selected:
+        _banner("Figure 8 -- coefficient overhead %% vs nodes (scale=%s)" % scale)
+        print(fig8.format_result(fig8.run(scale)))
+
+    if "fig9" in selected:
+        _banner("Figure 9 -- messages per result tuple at eps=15%% (scale=%s)" % scale)
+        cells = fig9.run(scale, workloads=(WorkloadKind.UNIFORM, WorkloadKind.ZIPF))
+        print(fig9.format_result(cells))
+
+    if "fig10" in selected:
+        _banner("Figure 10a -- error vs kappa (scale=%s)" % scale)
+        panel_a = fig10.run_panel_a(scale)
+        print(fig10.format_panel_a(panel_a))
+        print()
+        series_a = {}
+        for row in panel_a:
+            series_a.setdefault(row.algorithm, []).append((row.kappa, row.epsilon))
+        print(line_chart(series_a, y_label="epsilon vs kappa"))
+        _banner("Figure 10b -- error vs nodes (scale=%s)" % scale)
+        panel_b = fig10.run_panel_b(scale)
+        print(fig10.format_panel_b(panel_b))
+        print()
+        series_b = {}
+        for row in panel_b:
+            series_b.setdefault(row.algorithm, []).append((row.num_nodes, row.epsilon))
+        print(line_chart(series_b, y_label="epsilon vs N"))
+
+    if "fig11" in selected:
+        _banner("Figure 11 -- throughput at eps=15%% (scale=%s)" % scale)
+        throughput_rows = fig11.run(scale)
+        print(fig11.format_result(throughput_rows))
+        print()
+        series_t = {}
+        for row in throughput_rows:
+            series_t.setdefault(row.algorithm, []).append(
+                (row.num_nodes, row.sustained_throughput)
+            )
+        print(line_chart(series_t, y_label="sustained results/s"))
+
+    print()
+    print("report complete in %.1f s" % (time.time() - started))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("scale", nargs="?", default="bench",
+                        choices=["smoke", "bench", "default", "full"])
+    parser.add_argument(
+        "--only",
+        help="comma-separated subset of: %s" % ", ".join(ALL_EXPERIMENTS),
+    )
+    args = parser.parse_args(argv)
+    only = None
+    if args.only:
+        only = [name.strip() for name in args.only.split(",")]
+        unknown = set(only) - set(ALL_EXPERIMENTS)
+        if unknown:
+            parser.error("unknown experiments: %s" % ", ".join(sorted(unknown)))
+    run_report(args.scale, only)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,14 @@
+"""Sliding-window join operator and the exact ground-truth oracle.
+
+* :class:`~repro.join.hash_join.SymmetricHashJoin` executes the local
+  window join R_i |><| S_i at a node (and probes forwarded tuples against
+  the opposite window).
+* :class:`~repro.join.ground_truth.GroundTruthOracle` counts, at each
+  arrival event, the tuple's matches across *all* node windows -- the
+  denominator |Psi| of Equation 1.
+"""
+
+from repro.join.ground_truth import GroundTruthOracle
+from repro.join.hash_join import JoinResult, SymmetricHashJoin
+
+__all__ = ["SymmetricHashJoin", "JoinResult", "GroundTruthOracle"]

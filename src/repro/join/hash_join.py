@@ -1,0 +1,95 @@
+"""Symmetric hash join over a pair of sliding windows.
+
+The classic streaming equijoin: when a tuple of stream R arrives, probe the
+S window (and vice versa), emit one result per match, then insert the tuple
+into its own window.  "Probe before insert" means a tuple never joins with
+itself and a given (r, s) pair is produced exactly once locally -- by
+whichever tuple arrived second.
+
+For *forwarded* tuples (copies received from remote nodes) only the probe
+happens; the copy is not inserted, because the remote window segment it
+belongs to lives at its origin node (Section 2's partitioned-window model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import WindowError
+from repro.streams.tuples import StreamId, StreamTuple
+from repro.streams.window import SlidingWindow
+
+
+@dataclass
+class JoinResult:
+    """One emitted join result: an (R-tuple, S-tuple) pair."""
+
+    r_tuple: StreamTuple
+    s_tuple: StreamTuple
+    produced_at_node: int
+    produced_at_time: float = 0.0
+
+    @property
+    def pair_id(self) -> Tuple[int, int]:
+        """Stable identity of the result pair across nodes and duplicates."""
+        return (self.r_tuple.tuple_id, self.s_tuple.tuple_id)
+
+
+class SymmetricHashJoin:
+    """Joins the local R and S window segments at one node."""
+
+    def __init__(
+        self,
+        node_id: int,
+        r_window: SlidingWindow,
+        s_window: SlidingWindow,
+    ) -> None:
+        self.node_id = node_id
+        self._windows: Dict[StreamId, SlidingWindow] = {
+            StreamId.R: r_window,
+            StreamId.S: s_window,
+        }
+        self.local_results = 0
+        self.probe_results = 0
+
+    def window(self, stream: StreamId) -> SlidingWindow:
+        return self._windows[stream]
+
+    def insert_local(
+        self, item: StreamTuple, now: float = 0.0
+    ) -> Tuple[List[JoinResult], List[StreamTuple]]:
+        """Process a locally-arriving tuple: probe the other window, insert.
+
+        Returns the emitted results and the tuples the insert evicted (the
+        ground-truth oracle and the summaries both need the evictions).
+        """
+        results = self._probe(item, now)
+        self.local_results += len(results)
+        evicted = self._windows[item.stream].append(item)
+        return results, evicted
+
+    def probe_remote(self, item: StreamTuple, now: float = 0.0) -> List[JoinResult]:
+        """Probe a forwarded tuple against the opposite window (no insert)."""
+        if item.origin_node == self.node_id:
+            raise WindowError(
+                "tuple %d originated here; use insert_local" % item.tuple_id
+            )
+        results = self._probe(item, now)
+        self.probe_results += len(results)
+        return results
+
+    def _probe(self, item: StreamTuple, now: float) -> List[JoinResult]:
+        other = self._windows[item.stream.other]
+        results = []
+        for match in other.matches(item.key):
+            if item.stream is StreamId.R:
+                result = JoinResult(item, match, self.node_id, now)
+            else:
+                result = JoinResult(match, item, self.node_id, now)
+            results.append(result)
+        return results
+
+    def match_count(self, item: StreamTuple) -> int:
+        """Number of matches ``item`` would find here, without emitting."""
+        return self._windows[item.stream.other].count(item.key)

@@ -1,0 +1,12 @@
+"""Metrics: the three axes of Section 6.
+
+* epsilon-error -- fraction of true result tuples not reported (Eq. 1);
+* messages per result tuple -- data-plane messages divided by results;
+* throughput -- result tuples per simulated second.
+"""
+
+from repro.metrics.accounting import ResultCollector
+from repro.metrics.error import epsilon_error
+from repro.metrics.throughput import ThroughputSeries
+
+__all__ = ["ResultCollector", "epsilon_error", "ThroughputSeries"]

@@ -1,0 +1,23 @@
+"""The epsilon-error of Equation 1.
+
+epsilon = (|Psi| - |Psi_hat|) / |Psi| -- the fraction of the exact
+materialized result set the approximate answer failed to report.  The
+approximate set is always (a deduplicated subset of) the exact one in this
+system, so epsilon lies in [0, 1]; defensive clamping guards the
+floating-point edge and the |Psi| = 0 corner (no results to miss means no
+error).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def epsilon_error(truth_pairs: int, reported_pairs: int) -> float:
+    """Equation 1, clamped into [0, 1]."""
+    if truth_pairs < 0 or reported_pairs < 0:
+        raise ConfigurationError("pair counts must be non-negative")
+    if truth_pairs == 0:
+        return 0.0
+    missing = truth_pairs - min(reported_pairs, truth_pairs)
+    return missing / truth_pairs

@@ -1,0 +1,42 @@
+"""Simulated wide-area network substrate.
+
+The paper evaluates on twenty Sun workstations with software-emulated WAN
+characteristics: 20-100 ms of latency per message and a 90 kbps bandwidth
+cap per link.  This package provides a deterministic discrete-event
+simulator with the same model:
+
+* :class:`~repro.net.simulator.EventScheduler` -- the event loop.
+* :class:`~repro.net.link.Link` -- a point-to-point link with latency,
+  serialization delay and FIFO queueing.
+* :class:`~repro.net.message.Message` -- typed messages with a byte-level
+  size model used for bandwidth and overhead accounting.
+* :class:`~repro.net.topology.Network` -- a full mesh of links between
+  registered endpoints.
+* :class:`~repro.net.stats.TrafficStats` -- per-category byte/message
+  counters (Figure 8 overhead accounting).
+"""
+
+from repro.net.link import Link, LinkSpec
+from repro.net.message import (
+    Message,
+    MessageKind,
+    SUMMARY_COEFFICIENT_BYTES,
+    TUPLE_PAYLOAD_BYTES,
+)
+from repro.net.simulator import Event, EventScheduler
+from repro.net.stats import TrafficStats
+from repro.net.topology import Endpoint, Network
+
+__all__ = [
+    "Event",
+    "EventScheduler",
+    "Link",
+    "LinkSpec",
+    "Message",
+    "MessageKind",
+    "Network",
+    "Endpoint",
+    "TrafficStats",
+    "SUMMARY_COEFFICIENT_BYTES",
+    "TUPLE_PAYLOAD_BYTES",
+]

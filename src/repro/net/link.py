@@ -1,0 +1,129 @@
+"""Point-to-point links with WAN characteristics.
+
+The paper's testbed imposes 20-100 ms latency per message and pauses the
+sender for one second for every 90 kilobits transmitted, i.e. a 90 kbps
+serialization rate.  :class:`Link` models exactly that: messages serialize
+one after another at ``bandwidth_bps`` (FIFO -- a link busy with a large
+message delays everything behind it) and then propagate with a latency drawn
+uniformly from ``[latency_min_s, latency_max_s]``.
+
+Delivery therefore happens at::
+
+    depart = max(now, link_free_at) + size_bits / bandwidth_bps
+    arrive = depart + latency
+
+Latency is sampled per message, so reordering across *different* links is
+possible while each link itself preserves FIFO order end-to-end when
+``preserve_order`` is set (the default, matching TCP streams between node
+pairs in the prototype).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro._rng import ensure_rng
+from repro.errors import ConfigurationError
+from repro.net.message import Message
+from repro.net.simulator import EventScheduler
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Static link parameters (paper defaults)."""
+
+    bandwidth_bps: float = 90_000.0
+    latency_min_s: float = 0.020
+    latency_max_s: float = 0.100
+    preserve_order: bool = True
+    loss_probability: float = 0.0
+    """Per-message drop probability (fault injection).  The sender still
+    pays the serialization cost -- the loss happens in transit."""
+
+    def validate(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        if self.latency_min_s < 0 or self.latency_max_s < self.latency_min_s:
+            raise ConfigurationError(
+                "latency range [%g, %g] is invalid"
+                % (self.latency_min_s, self.latency_max_s)
+            )
+        if not 0.0 <= self.loss_probability < 1.0:
+            raise ConfigurationError("loss_probability must lie in [0, 1)")
+
+    def sample_latency(self, rng: np.random.Generator) -> float:
+        """Draw one propagation latency."""
+        if self.latency_max_s == self.latency_min_s:
+            return self.latency_min_s
+        return float(rng.uniform(self.latency_min_s, self.latency_max_s))
+
+
+class Link:
+    """A unidirectional link between two endpoints."""
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        spec: LinkSpec,
+        deliver: Callable[[Message], None],
+        rng=None,
+    ) -> None:
+        spec.validate()
+        self._scheduler = scheduler
+        self._spec = spec
+        self._deliver = deliver
+        self._rng = ensure_rng(rng)
+        self._free_at = 0.0
+        self._last_arrival = 0.0
+        self.messages_sent = 0
+        self.messages_lost = 0
+        self.bytes_sent = 0
+        self.busy_seconds = 0.0
+
+    @property
+    def spec(self) -> LinkSpec:
+        return self._spec
+
+    @property
+    def free_at(self) -> float:
+        """Simulated time at which the link finishes its current backlog."""
+        return self._free_at
+
+    def queue_depth_seconds(self) -> float:
+        """Seconds of serialization backlog currently ahead of a new message."""
+        return max(0.0, self._free_at - self._scheduler.now)
+
+    def transmission_time(self, message: Message) -> float:
+        """Serialization delay for ``message`` at the link bandwidth."""
+        return message.size_bytes() * 8.0 / self._spec.bandwidth_bps
+
+    def send(self, message: Message) -> float:
+        """Enqueue ``message``; returns its delivery time.
+
+        The sender is never blocked (the prototype's sockets buffer); the
+        cost of congestion shows up as delivery delay, which is what the
+        throughput experiments measure.
+        """
+        now = self._scheduler.now
+        tx_time = self.transmission_time(message)
+        depart = max(now, self._free_at) + tx_time
+        self.busy_seconds += tx_time
+        self._free_at = depart
+        arrival = depart + self._spec.sample_latency(self._rng)
+        if self._spec.preserve_order and arrival < self._last_arrival:
+            arrival = self._last_arrival
+        self._last_arrival = arrival
+        message.created_at = now
+        self.messages_sent += 1
+        self.bytes_sent += message.size_bytes()
+        if (
+            self._spec.loss_probability > 0.0
+            and self._rng.random() < self._spec.loss_probability
+        ):
+            self.messages_lost += 1
+            return arrival  # serialized, paid for, never delivered
+        self._scheduler.schedule_at(arrival, lambda m=message: self._deliver(m))
+        return arrival

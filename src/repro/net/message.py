@@ -1,0 +1,93 @@
+"""Message types and the byte-level size model.
+
+Sizes matter twice in the reproduction: serialization delay on 90 kbps
+links (throughput, Figure 11) and the coefficient-overhead percentage
+(Figure 8).  Rather than pickling real objects we model message sizes from
+first principles, mirroring what the C++ prototype would put on the wire:
+
+* every message carries a fixed header (source, destination, kind,
+  sequence number, timestamps);
+* a forwarded tuple carries its key and payload;
+* a summary update carries one complex coefficient (two IEEE-754 doubles)
+  plus a coefficient index per entry, or the equivalently-sized Bloom /
+  sketch fragment (the experiments size all summaries identically, as the
+  paper does).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+HEADER_BYTES = 24
+"""Fixed per-message framing: ids, kind, sequence number, send timestamp."""
+
+TUPLE_KEY_BYTES = 8
+"""The joining attribute, a 64-bit integer."""
+
+TUPLE_PAYLOAD_BYTES = 40
+"""Non-key tuple payload (the paper joins trade / packet records)."""
+
+SUMMARY_COEFFICIENT_BYTES = 20
+"""One summary entry: complex coefficient (16 bytes) + 4-byte index.
+
+Bloom-filter fragments and sketch fragments are sized identically so the
+summary-size axis of Figure 10(a) is comparable across algorithms, exactly
+as Section 6 prescribes ("we adjust the size of the Bloom filters, sketches
+and DFT coefficients to be the same").
+"""
+
+_message_ids = itertools.count()
+
+
+class MessageKind(enum.Enum):
+    """Wire-level message categories, used for traffic accounting."""
+
+    TUPLE = "tuple"
+    """A forwarded stream tuple (possibly with piggy-backed summary deltas)."""
+
+    SUMMARY = "summary"
+    """A standalone summary-update message (no tuple aboard)."""
+
+    RESULT = "result"
+    """A reported join-result tuple."""
+
+    CONTROL = "control"
+    """Query dissemination and other control-plane traffic."""
+
+
+@dataclass
+class Message:
+    """A simulated network message.
+
+    ``summary_entries`` counts piggy-backed summary coefficients (or filter
+    fragments); their bytes are accounted to the *summary* category even when
+    they ride on a TUPLE message, which is how Figure 8 separates overhead
+    from net data.
+    """
+
+    kind: MessageKind
+    source: int
+    destination: int
+    payload: Any = None
+    summary_entries: int = 0
+    message_id: int = field(default_factory=lambda: next(_message_ids))
+    created_at: Optional[float] = None
+
+    def tuple_bytes(self) -> int:
+        """Bytes attributable to the tuple/result/control body."""
+        if self.kind in (MessageKind.TUPLE, MessageKind.RESULT):
+            return TUPLE_KEY_BYTES + TUPLE_PAYLOAD_BYTES
+        if self.kind == MessageKind.CONTROL:
+            return TUPLE_KEY_BYTES
+        return 0
+
+    def summary_bytes(self) -> int:
+        """Bytes attributable to summary content (piggy-backed or standalone)."""
+        return self.summary_entries * SUMMARY_COEFFICIENT_BYTES
+
+    def size_bytes(self) -> int:
+        """Total on-the-wire size."""
+        return HEADER_BYTES + self.tuple_bytes() + self.summary_bytes()

@@ -1,0 +1,131 @@
+"""A deterministic discrete-event scheduler.
+
+The scheduler is the clock of the simulated WAN.  Components schedule
+callbacks at absolute or relative simulated times; :meth:`EventScheduler.run`
+drains the event queue in time order.  Ties are broken by insertion order so
+that runs are fully deterministic.
+
+The design intentionally avoids coroutine-style processes: the node logic in
+:mod:`repro.core.node` is reactive (it only acts when a tuple or message
+arrives), so plain callbacks keep the control flow explicit and easy to
+test.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events order by ``(time, sequence)``; ``sequence`` is a monotonically
+    increasing insertion counter that makes simultaneous events fire in the
+    order they were scheduled.
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler skips it when its time comes."""
+        self.cancelled = True
+
+
+class EventScheduler:
+    """Priority-queue event loop with a monotone simulated clock."""
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far (cancelled events excluded)."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute simulated ``time``.
+
+        Scheduling in the past is an error: the clock only moves forward.
+        """
+        if time < self._now:
+            raise SimulationError(
+                "cannot schedule at t=%g; clock is already at t=%g" % (time, self._now)
+            )
+        event = Event(time=time, sequence=next(self._sequence), callback=callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_in(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise SimulationError("delay must be non-negative, got %g" % delay)
+        return self.schedule_at(self._now + delay, callback)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Drain the event queue.
+
+        Runs until the queue is empty, the next event lies beyond ``until``
+        (the clock is then advanced to ``until``), or ``max_events``
+        callbacks have executed.  Returns the simulated time at exit.
+        """
+        if self._running:
+            raise SimulationError("scheduler is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                if max_events is not None and executed >= max_events:
+                    break
+                event = self._queue[0]
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                event.callback()
+                executed += 1
+                self._events_processed += 1
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def step(self) -> bool:
+        """Execute the single next non-cancelled event.
+
+        Returns ``True`` if an event ran, ``False`` if the queue was empty.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            self._events_processed += 1
+            return True
+        return False

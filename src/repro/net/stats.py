@@ -1,0 +1,82 @@
+"""Traffic accounting.
+
+:class:`TrafficStats` tallies messages and bytes by category.  The split
+between *net data* bytes (tuple bodies, headers) and *summary* bytes
+(DFT coefficients, Bloom fragments, sketch fragments -- whether piggy-backed
+or standalone) is what Figure 8 reports as the coefficient-update overhead
+percentage.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.net.message import Message, MessageKind
+
+
+@dataclass
+class TrafficStats:
+    """Mutable counters for simulated network traffic."""
+
+    messages_by_kind: Counter = field(default_factory=Counter)
+    bytes_by_kind: Counter = field(default_factory=Counter)
+    summary_bytes: int = 0
+    net_data_bytes: int = 0
+    summary_entries: int = 0
+
+    def record(self, message: Message) -> None:
+        """Account one sent message."""
+        kind = message.kind.value
+        self.messages_by_kind[kind] += 1
+        self.bytes_by_kind[kind] += message.size_bytes()
+        self.summary_bytes += message.summary_bytes()
+        self.net_data_bytes += message.size_bytes() - message.summary_bytes()
+        self.summary_entries += message.summary_entries
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.messages_by_kind.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_kind.values())
+
+    def messages(self, kind: MessageKind) -> int:
+        return self.messages_by_kind[kind.value]
+
+    def data_messages(self) -> int:
+        """Messages that move data between nodes (tuples + standalone summaries)."""
+        return (
+            self.messages_by_kind[MessageKind.TUPLE.value]
+            + self.messages_by_kind[MessageKind.SUMMARY.value]
+        )
+
+    def summary_overhead_fraction(self) -> float:
+        """Summary bytes as a fraction of net-data bytes (Figure 8's y-axis).
+
+        Returns 0 when no net data has been transmitted.
+        """
+        if self.net_data_bytes == 0:
+            return 0.0
+        return self.summary_bytes / self.net_data_bytes
+
+    def merge(self, other: "TrafficStats") -> None:
+        """Fold another node's counters into this one (system-wide totals)."""
+        self.messages_by_kind.update(other.messages_by_kind)
+        self.bytes_by_kind.update(other.bytes_by_kind)
+        self.summary_bytes += other.summary_bytes
+        self.net_data_bytes += other.net_data_bytes
+        self.summary_entries += other.summary_entries
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary for result reporting."""
+        return {
+            "total_messages": self.total_messages,
+            "total_bytes": self.total_bytes,
+            "summary_bytes": self.summary_bytes,
+            "net_data_bytes": self.net_data_bytes,
+            "summary_entries": self.summary_entries,
+            "summary_overhead_fraction": self.summary_overhead_fraction(),
+        }

@@ -1,0 +1,118 @@
+"""Full-mesh network topology.
+
+Section 3: "the communications architecture is such that every node is able
+to converse with every other node" -- there is no central coordinator.
+:class:`Network` wires one :class:`~repro.net.link.Link` per ordered
+endpoint pair and exposes a simple ``send`` facade that also performs
+traffic accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Protocol, Tuple
+
+import numpy as np
+
+from repro._rng import ensure_rng, spawn
+from repro.errors import ConfigurationError, SimulationError
+from repro.net.link import Link, LinkSpec
+from repro.net.message import Message
+from repro.net.simulator import EventScheduler
+from repro.net.stats import TrafficStats
+
+
+class Endpoint(Protocol):
+    """Anything that can receive messages from the network."""
+
+    def on_message(self, message: Message) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class Network:
+    """A full mesh of point-to-point links between registered endpoints."""
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        spec: Optional[LinkSpec] = None,
+        rng=None,
+    ) -> None:
+        self._scheduler = scheduler
+        self._spec = spec if spec is not None else LinkSpec()
+        self._rng = ensure_rng(rng)
+        self._endpoints: Dict[int, Endpoint] = {}
+        self._links: Dict[Tuple[int, int], Link] = {}
+        self.stats = TrafficStats()
+        self.per_sender_stats: Dict[int, TrafficStats] = {}
+        self.trace = None
+        """Optional :class:`repro.net.trace.MessageTrace`; assign to enable."""
+
+    @property
+    def scheduler(self) -> EventScheduler:
+        return self._scheduler
+
+    @property
+    def spec(self) -> LinkSpec:
+        return self._spec
+
+    def register(self, node_id: int, endpoint: Endpoint) -> None:
+        """Attach an endpoint; links to existing endpoints are created lazily."""
+        if node_id in self._endpoints:
+            raise ConfigurationError("node id %d already registered" % node_id)
+        self._endpoints[node_id] = endpoint
+        self.per_sender_stats[node_id] = TrafficStats()
+
+    @property
+    def node_ids(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._endpoints))
+
+    def link(self, source: int, destination: int) -> Link:
+        """The (lazily created) unidirectional link ``source -> destination``."""
+        key = (source, destination)
+        if key not in self._links:
+            if source not in self._endpoints or destination not in self._endpoints:
+                raise SimulationError(
+                    "link %d->%d references unregistered endpoint" % key
+                )
+            endpoint = self._endpoints[destination]
+            self._links[key] = Link(
+                self._scheduler,
+                self._spec,
+                deliver=endpoint.on_message,
+                rng=spawn(self._rng, 1)[0],
+            )
+        return self._links[key]
+
+    def send(self, message: Message) -> float:
+        """Transmit ``message`` over the mesh; returns its delivery time."""
+        if message.source == message.destination:
+            raise SimulationError("a node does not message itself")
+        link = self.link(message.source, message.destination)
+        arrival = link.send(message)
+        self.stats.record(message)
+        self.per_sender_stats[message.source].record(message)
+        if self.trace is not None:
+            self.trace.record(self._scheduler.now, message)
+        return arrival
+
+    def link_stats(self) -> Dict[Tuple[int, int], Tuple[int, int]]:
+        """Per-directed-link ``(messages, bytes)`` counters.
+
+        Only links that have carried traffic appear (links are lazy).
+        The analysis helpers build traffic matrices from this.
+        """
+        return {
+            pair: (link.messages_sent, link.bytes_sent)
+            for pair, link in self._links.items()
+        }
+
+    def backlog_seconds(self, source: int, destination: int) -> float:
+        """Current serialization backlog on the given directed link."""
+        key = (source, destination)
+        if key not in self._links:
+            return 0.0
+        return self._links[key].queue_depth_seconds()
+
+    def total_backlog_seconds(self) -> float:
+        """Sum of serialization backlogs across all links (congestion gauge)."""
+        return sum(link.queue_depth_seconds() for link in self._links.values())

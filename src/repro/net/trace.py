@@ -1,0 +1,97 @@
+"""Optional message tracing.
+
+A :class:`MessageTrace` attached to a :class:`~repro.net.topology.Network`
+records every transmitted message into a bounded ring buffer -- the
+debugging view a developer reaches for when a policy misroutes.  Tracing
+is off by default; enabling it costs one record append per send.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Deque, Iterator, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.net.message import Message, MessageKind
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One transmitted message, as seen at send time."""
+
+    time: float
+    source: int
+    destination: int
+    kind: str
+    size_bytes: int
+    summary_entries: int
+    message_id: int
+
+
+class MessageTrace:
+    """Bounded ring buffer of :class:`TraceRecord`."""
+
+    def __init__(self, capacity: int = 10_000) -> None:
+        if capacity < 1:
+            raise ConfigurationError("trace capacity must be >= 1")
+        self.capacity = capacity
+        self._records: Deque[TraceRecord] = deque(maxlen=capacity)
+        self.total_recorded = 0
+
+    def record(self, time: float, message: Message) -> None:
+        """Append one message (called by the network's send path)."""
+        self._records.append(
+            TraceRecord(
+                time=time,
+                source=message.source,
+                destination=message.destination,
+                kind=message.kind.value,
+                size_bytes=message.size_bytes(),
+                summary_entries=message.summary_entries,
+                message_id=message.message_id,
+            )
+        )
+        self.total_recorded += 1
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    @property
+    def dropped(self) -> int:
+        """Records that fell off the ring buffer."""
+        return self.total_recorded - len(self._records)
+
+    def filter(
+        self,
+        source: Optional[int] = None,
+        destination: Optional[int] = None,
+        kind: Optional[MessageKind] = None,
+        since: float = 0.0,
+    ) -> List[TraceRecord]:
+        """Records matching every given criterion, in send order."""
+        selected = []
+        for record in self._records:
+            if source is not None and record.source != source:
+                continue
+            if destination is not None and record.destination != destination:
+                continue
+            if kind is not None and record.kind != kind.value:
+                continue
+            if record.time < since:
+                continue
+            selected.append(record)
+        return selected
+
+    def counts_by_kind(self) -> Counter:
+        """Message counts per kind over the retained window."""
+        return Counter(record.kind for record in self._records)
+
+    def tail(self, count: int = 20) -> List[TraceRecord]:
+        """The most recent ``count`` records."""
+        if count < 0:
+            raise ConfigurationError("count must be non-negative")
+        return list(self._records)[-count:]

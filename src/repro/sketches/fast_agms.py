@@ -1,0 +1,126 @@
+"""Fast-AGMS ("sketch-partitioning" / count-sketch style) sketches.
+
+The plain AGMS sketch touches every one of its s0 * s1 counters per
+update.  Cormode & Garofalakis's Fast-AGMS variant (the paper's reference
+[8]) hashes each key to *one bucket per row*, so an update touches only
+s1 counters while preserving the same join-size estimation guarantees:
+
+    row i:   C_i[h_i(x)] += delta * xi_i(x)
+    estimate: median_i( sum_b C_i^X[b] * C_i^Y[b] )
+
+This is the variant a production deployment of the SKCH baseline would
+use; the ablation benchmark compares its update cost against plain AGMS
+at equal wire size (the accuracy is comparable by construction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._rng import ensure_rng
+from repro.errors import SummaryError
+from repro.sketches.hashing import FourWiseHashFamily
+
+
+@dataclass(frozen=True)
+class FastSketchShape:
+    """Rows (medianed) x buckets-per-row (the summed inner product)."""
+
+    rows: int
+    buckets: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.buckets < 1:
+            raise SummaryError("sketch dimensions must be >= 1")
+
+    @property
+    def total(self) -> int:
+        return self.rows * self.buckets
+
+    @classmethod
+    def from_total(cls, total: int, rows: int = 5) -> "FastSketchShape":
+        """Shape with ~``total`` counters spread over ``rows`` rows."""
+        if total < 1:
+            raise SummaryError("total sketch size must be >= 1")
+        rows = max(1, min(rows, total))
+        return cls(rows=rows, buckets=max(1, total // rows))
+
+
+class FastAgmsSketch:
+    """Count-sketch-structured AGMS summary (one bucket per row)."""
+
+    def __init__(self, shape: FastSketchShape, hashes=None, rng=None) -> None:
+        self.shape = shape
+        if hashes is None:
+            # One 4-wise family drives both the bucket choice and the sign:
+            # two independent row banks.
+            generator = ensure_rng(rng)
+            hashes = (
+                FourWiseHashFamily(shape.rows, rng=generator),
+                FourWiseHashFamily(shape.rows, rng=generator),
+            )
+        bucket_hashes, sign_hashes = hashes
+        if bucket_hashes.rows != shape.rows or sign_hashes.rows != shape.rows:
+            raise SummaryError("hash banks must have one row per sketch row")
+        self._bucket_hashes = bucket_hashes
+        self._sign_hashes = sign_hashes
+        self._counters = np.zeros((shape.rows, shape.buckets), dtype=np.float64)
+        self.updates = 0
+
+    def spawn_compatible(self) -> "FastAgmsSketch":
+        """Fresh zero sketch sharing this sketch's hash banks."""
+        return FastAgmsSketch(
+            self.shape, hashes=(self._bucket_hashes, self._sign_hashes)
+        )
+
+    def update(self, key: int, delta: int = 1) -> None:
+        """Apply a frequency change, touching one counter per row."""
+        if delta == 0:
+            return
+        buckets = self._bucket_hashes.buckets(key, self.shape.buckets)
+        signs = self._sign_hashes.signs(key)
+        self._counters[np.arange(self.shape.rows), buckets] += delta * signs
+        self.updates += 1
+
+    def counters(self) -> np.ndarray:
+        """Counter matrix, shape (rows, buckets) (copy)."""
+        return self._counters.copy()
+
+    def snapshot_counters(self) -> np.ndarray:
+        """Flat counter copy -- the wire representation."""
+        return self._counters.reshape(-1).copy()
+
+    def load_counters(self, counters) -> None:
+        """Replace state with a received snapshot."""
+        arr = np.asarray(counters, dtype=np.float64).reshape(-1)
+        if arr.size != self.shape.total:
+            raise SummaryError("snapshot shape mismatch")
+        self._counters = arr.reshape(self.shape.rows, self.shape.buckets).copy()
+
+    def join_size_estimate(self, other: "FastAgmsSketch") -> float:
+        """Median over rows of the per-row counter inner products."""
+        self._check_compatible(other)
+        per_row = np.einsum("rb,rb->r", self._counters, other._counters)
+        return float(np.median(per_row))
+
+    def self_join_size_estimate(self) -> float:
+        """F2 estimate: median over rows of the per-row squared norms."""
+        per_row = np.einsum("rb,rb->r", self._counters, self._counters)
+        return float(np.median(per_row))
+
+    def _check_compatible(self, other: "FastAgmsSketch") -> None:
+        if self.shape != other.shape:
+            raise SummaryError(
+                "sketch shapes differ: %s vs %s" % (self.shape, other.shape)
+            )
+        if (
+            self._bucket_hashes is not other._bucket_hashes
+            or self._sign_hashes is not other._sign_hashes
+        ):
+            raise SummaryError("sketches must share hash banks to be joined")
+
+    def serialized_entries(self) -> int:
+        """Summary entries this sketch occupies on the wire."""
+        return self.shape.total

@@ -1,0 +1,61 @@
+"""Trace replay: drive the system with recorded joining-attribute data.
+
+The paper's FIN/NWRK experiments replay real traces.  Users with their
+own data can do the same: a trace is a plain text file with one integer
+key per line (blank lines and ``#`` comments ignored) or a ``.npy``
+array.  Keys must be positive; the replay cycles when the run needs more
+tuples than the trace holds (documented loudly because cycling changes
+the temporal statistics).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def load_trace(path: Union[str, Path]) -> np.ndarray:
+    """Read a key trace from ``.npy`` or line-oriented text."""
+    file_path = Path(path)
+    if not file_path.exists():
+        raise ConfigurationError("no trace file at %s" % file_path)
+    if file_path.suffix == ".npy":
+        keys = np.load(file_path)
+    else:
+        values = []
+        for line in file_path.read_text().splitlines():
+            stripped = line.split("#", 1)[0].strip()
+            if not stripped:
+                continue
+            try:
+                values.append(int(stripped))
+            except ValueError:
+                raise ConfigurationError(
+                    "trace line %r is not an integer key" % stripped
+                ) from None
+        keys = np.asarray(values, dtype=np.int64)
+    keys = np.asarray(keys).reshape(-1).astype(np.int64, copy=False)
+    if keys.size == 0:
+        raise ConfigurationError("trace %s holds no keys" % file_path)
+    if keys.min() < 1:
+        raise ConfigurationError("trace keys must be >= 1")
+    return keys
+
+
+def replay_stream(path: Union[str, Path], cycle: bool = True) -> Iterator[int]:
+    """Yield the trace's keys in order; cycle at the end if allowed."""
+    keys = load_trace(path)
+    while True:
+        for key in keys:
+            yield int(key)
+        if not cycle:
+            return
+
+
+def trace_domain(path: Union[str, Path]) -> int:
+    """The smallest key domain covering the trace (its maximum key)."""
+    return int(load_trace(path).max())

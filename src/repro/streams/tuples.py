@@ -1,0 +1,62 @@
+"""Stream tuple model.
+
+A tuple is the unit of arrival, forwarding, and joining.  Only the joining
+attribute (``key``) participates in the algorithms; the payload is opaque
+and merely occupies bytes on the wire.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class StreamId(enum.Enum):
+    """The two joined streams of the paper's running example."""
+
+    R = "R"
+    S = "S"
+
+    @property
+    def other(self) -> "StreamId":
+        """The opposite stream (R joins S and vice versa)."""
+        return StreamId.S if self is StreamId.R else StreamId.R
+
+
+_tuple_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class StreamTuple:
+    """One stream element.
+
+    ``tuple_id`` is globally unique and identifies the tuple across
+    forwarding hops, which lets the metrics layer count each *result pair*
+    (r.tuple_id, s.tuple_id) exactly once.  ``query_id`` scopes the tuple
+    to one of the system's concurrent join queries (Section 3's
+    multi-query setting); queries never join across each other.
+    """
+
+    stream: StreamId
+    key: int
+    origin_node: int
+    arrival_index: int
+    payload: Any = None
+    tuple_id: int = field(default_factory=lambda: next(_tuple_ids))
+    timestamp: Optional[float] = None
+    query_id: int = 0
+
+    def with_timestamp(self, timestamp: float) -> "StreamTuple":
+        """Copy of this tuple stamped with its simulated arrival time."""
+        return StreamTuple(
+            stream=self.stream,
+            key=self.key,
+            origin_node=self.origin_node,
+            arrival_index=self.arrival_index,
+            payload=self.payload,
+            tuple_id=self.tuple_id,
+            timestamp=timestamp,
+            query_id=self.query_id,
+        )

@@ -1,0 +1,154 @@
+"""Sliding windows over stream segments.
+
+Section 2: the window may be defined in tuples, time, or up to a landmark;
+the algorithms are agnostic to the definition, and the paper (like this
+reproduction's experiments) uses tuple-count windows.  All three flavours
+are implemented behind one interface so the join operator and the DFT
+summaries do not care which is in force.
+
+Windows maintain, besides the tuple deque, a multiset of keys so that
+membership tests and match counting are O(1) per probe.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import Counter, deque
+from typing import Deque, Iterable, Iterator, List, Optional
+
+from repro.errors import WindowError
+from repro.streams.tuples import StreamTuple
+
+
+class SlidingWindow(abc.ABC):
+    """Common behaviour: append, evict, key-multiset bookkeeping."""
+
+    def __init__(self) -> None:
+        self._tuples: Deque[StreamTuple] = deque()
+        self._key_counts: Counter = Counter()
+        self._evicted: List[StreamTuple] = []
+        self.total_appended = 0
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[StreamTuple]:
+        return iter(self._tuples)
+
+    def __contains__(self, key: int) -> bool:
+        return self._key_counts[key] > 0
+
+    @property
+    def key_counts(self) -> Counter:
+        """Multiset of keys currently in the window (do not mutate)."""
+        return self._key_counts
+
+    def count(self, key: int) -> int:
+        """Number of tuples in the window with the given joining attribute."""
+        return self._key_counts[key]
+
+    def keys(self) -> Iterator[int]:
+        """Key sequence in arrival order (the signal the DFT summarizes)."""
+        return (t.key for t in self._tuples)
+
+    def matches(self, key: int) -> List[StreamTuple]:
+        """All window tuples whose key equals ``key`` (join probe)."""
+        if self._key_counts[key] == 0:
+            return []
+        return [t for t in self._tuples if t.key == key]
+
+    def append(self, item: StreamTuple) -> List[StreamTuple]:
+        """Insert ``item`` and return the tuples evicted as a consequence."""
+        self._tuples.append(item)
+        self._key_counts[item.key] += 1
+        self.total_appended += 1
+        self._evicted = []
+        self._enforce(item)
+        evicted, self._evicted = self._evicted, []
+        return evicted
+
+    def _evict_oldest(self) -> StreamTuple:
+        if not self._tuples:
+            raise WindowError("evicting from an empty window")
+        oldest = self._tuples.popleft()
+        self._key_counts[oldest.key] -= 1
+        if self._key_counts[oldest.key] == 0:
+            del self._key_counts[oldest.key]
+        self._evicted.append(oldest)
+        return oldest
+
+    @abc.abstractmethod
+    def _enforce(self, newest: StreamTuple) -> None:
+        """Evict tuples so the window invariant holds after ``newest``."""
+
+
+class CountWindow(SlidingWindow):
+    """Window holding the most recent ``capacity`` tuples."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise WindowError("window capacity must be positive, got %d" % capacity)
+        super().__init__()
+        self.capacity = capacity
+
+    def _enforce(self, newest: StreamTuple) -> None:
+        while len(self._tuples) > self.capacity:
+            self._evict_oldest()
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._tuples) == self.capacity
+
+
+class TimeWindow(SlidingWindow):
+    """Window holding tuples whose timestamp lies within ``span`` of the newest.
+
+    Tuples must carry timestamps and arrive in non-decreasing time order.
+    """
+
+    def __init__(self, span: float) -> None:
+        if span <= 0:
+            raise WindowError("window span must be positive, got %g" % span)
+        super().__init__()
+        self.span = span
+
+    def _enforce(self, newest: StreamTuple) -> None:
+        if newest.timestamp is None:
+            raise WindowError("TimeWindow requires timestamped tuples")
+        horizon = newest.timestamp - self.span
+        while self._tuples and self._first_timestamp() < horizon:
+            self._evict_oldest()
+
+    def _first_timestamp(self) -> float:
+        first = self._tuples[0]
+        if first.timestamp is None:
+            raise WindowError("TimeWindow requires timestamped tuples")
+        return first.timestamp
+
+    def advance_to(self, now: float) -> List[StreamTuple]:
+        """Expire tuples against the clock without inserting (idle eviction)."""
+        self._evicted = []
+        horizon = now - self.span
+        while self._tuples and self._first_timestamp() < horizon:
+            self._evict_oldest()
+        evicted, self._evicted = self._evicted, []
+        return evicted
+
+
+class LandmarkWindow(SlidingWindow):
+    """Window that accumulates until a landmark key is observed, then resets."""
+
+    def __init__(self, landmark_key: int, max_size: Optional[int] = None) -> None:
+        super().__init__()
+        self.landmark_key = landmark_key
+        self.max_size = max_size
+        self.resets = 0
+
+    def _enforce(self, newest: StreamTuple) -> None:
+        if newest.key == self.landmark_key:
+            while len(self._tuples) > 1:  # keep the landmark tuple itself
+                self._evict_oldest()
+            self.resets += 1
+        elif self.max_size is not None:
+            while len(self._tuples) > self.max_size:
+                self._evict_oldest()

@@ -1,0 +1,10 @@
+"""Shared fixtures."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator; tests that need their own seed make one."""
+    return np.random.default_rng(1234)

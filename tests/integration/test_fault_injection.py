@@ -1,0 +1,98 @@
+"""Fault-injection tests: the system degrades gracefully under message loss."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.config import Algorithm, PolicyConfig, SystemConfig, WorkloadConfig
+from repro.core.system import run_experiment
+from repro.errors import ConfigurationError
+from repro.net.link import Link, LinkSpec
+from repro.net.message import Message, MessageKind
+from repro.net.simulator import EventScheduler
+
+
+def lossy_config(algorithm, loss):
+    return SystemConfig(
+        num_nodes=4,
+        window_size=96,
+        policy=PolicyConfig(algorithm=algorithm, kappa=4.0),
+        workload=WorkloadConfig(total_tuples=1500, domain=512, arrival_rate=120.0),
+        link=LinkSpec(
+            bandwidth_bps=math.inf,
+            latency_min_s=0.02,
+            latency_max_s=0.1,
+            loss_probability=loss,
+        ),
+        seed=31,
+    )
+
+
+class TestLinkLoss:
+    def test_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            LinkSpec(loss_probability=1.0).validate()
+        with pytest.raises(ConfigurationError):
+            LinkSpec(loss_probability=-0.1).validate()
+
+    def test_lossless_by_default(self):
+        delivered = []
+        scheduler = EventScheduler()
+        link = Link(scheduler, LinkSpec(), delivered.append, rng=np.random.default_rng(0))
+        for _ in range(50):
+            link.send(Message(kind=MessageKind.TUPLE, source=0, destination=1))
+        scheduler.run()
+        assert len(delivered) == 50
+        assert link.messages_lost == 0
+
+    def test_loss_rate_is_respected(self):
+        delivered = []
+        scheduler = EventScheduler()
+        link = Link(
+            scheduler,
+            LinkSpec(loss_probability=0.3),
+            delivered.append,
+            rng=np.random.default_rng(1),
+        )
+        for _ in range(1000):
+            link.send(Message(kind=MessageKind.TUPLE, source=0, destination=1))
+        scheduler.run()
+        assert link.messages_lost + len(delivered) == 1000
+        assert 0.25 < link.messages_lost / 1000 < 0.35
+
+    def test_lost_messages_still_cost_bandwidth(self):
+        scheduler = EventScheduler()
+        link = Link(
+            scheduler,
+            LinkSpec(loss_probability=0.5, latency_min_s=0.0, latency_max_s=0.0),
+            lambda m: None,
+            rng=np.random.default_rng(2),
+        )
+        for _ in range(20):
+            link.send(Message(kind=MessageKind.TUPLE, source=0, destination=1))
+        assert link.busy_seconds > 0
+        assert link.bytes_sent == 20 * 72
+
+
+class TestSystemUnderLoss:
+    def test_base_loses_exactly_the_dropped_matches(self):
+        clean = run_experiment(lossy_config(Algorithm.BASE, 0.0))
+        lossy = run_experiment(lossy_config(Algorithm.BASE, 0.2))
+        assert clean.epsilon < 0.02
+        assert lossy.epsilon > clean.epsilon
+        assert lossy.epsilon < 0.5  # local + surviving-copy results remain
+
+    @pytest.mark.parametrize("algorithm", [Algorithm.DFT, Algorithm.DFTT, Algorithm.BLOOM])
+    def test_filtered_algorithms_survive_loss(self, algorithm):
+        result = run_experiment(lossy_config(algorithm, 0.2))
+        assert result.truth_pairs > 0
+        assert result.reported_pairs > 0
+        assert 0.0 <= result.epsilon <= 1.0
+
+    def test_error_monotone_in_loss_rate(self):
+        errors = [
+            run_experiment(lossy_config(Algorithm.BASE, loss)).epsilon
+            for loss in (0.0, 0.3, 0.6)
+        ]
+        assert errors[0] <= errors[1] <= errors[2]

@@ -1,0 +1,38 @@
+"""Integration tests: both SKCH sketch variants through the runtime."""
+
+import pytest
+
+from repro.config import Algorithm, PolicyConfig, SystemConfig, WorkloadConfig
+from repro.core.system import run_experiment
+from repro.errors import ConfigurationError
+
+
+def skch_config(variant):
+    return SystemConfig(
+        num_nodes=4,
+        window_size=128,
+        policy=PolicyConfig(algorithm=Algorithm.SKCH, kappa=8.0, sketch_variant=variant),
+        workload=WorkloadConfig(total_tuples=1500, domain=1024, arrival_rate=250.0),
+        seed=23,
+    )
+
+
+@pytest.mark.parametrize("variant", ["plain", "fast"])
+def test_variant_runs_with_sane_metrics(variant):
+    result = run_experiment(skch_config(variant))
+    assert result.truth_pairs > 0
+    assert 0.0 <= result.epsilon <= 1.0
+    assert result.reported_pairs <= result.truth_pairs
+    assert result.traffic["summary_bytes"] > 0
+
+
+def test_variants_produce_comparable_accuracy():
+    plain = run_experiment(skch_config("plain"))
+    fast = run_experiment(skch_config("fast"))
+    # Same estimation target at the same wire size: errors in the same band.
+    assert abs(plain.epsilon - fast.epsilon) < 0.2
+
+
+def test_invalid_variant_rejected():
+    with pytest.raises(ConfigurationError):
+        skch_config("turbo").validate()

@@ -1,0 +1,75 @@
+"""Integration tests: time-based windows through the full runtime."""
+
+import pytest
+
+from repro.config import (
+    Algorithm,
+    PolicyConfig,
+    SystemConfig,
+    WindowKind,
+    WorkloadConfig,
+)
+from repro.core.system import run_experiment
+from repro.errors import ConfigurationError
+
+
+def time_config(algorithm, window_seconds=2.0, **overrides):
+    defaults = dict(
+        num_nodes=4,
+        window_size=128,  # cap for the DFT summaries
+        window_kind=WindowKind.TIME,
+        window_seconds=window_seconds,
+        policy=PolicyConfig(algorithm=algorithm, kappa=4.0),
+        workload=WorkloadConfig(total_tuples=1500, domain=512, arrival_rate=150.0),
+        seed=13,
+    )
+    defaults.update(overrides)
+    return SystemConfig(**defaults)
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        SystemConfig(window_kind=WindowKind.TIME).validate()  # no span
+    with pytest.raises(ConfigurationError):
+        SystemConfig(window_seconds=1.0).validate()  # span without TIME
+    time_config(Algorithm.BASE).validate()
+
+
+def test_base_is_exact_with_time_windows():
+    result = run_experiment(time_config(Algorithm.BASE))
+    assert result.truth_pairs > 0
+    assert result.epsilon < 0.02
+
+
+@pytest.mark.parametrize(
+    "algorithm", [Algorithm.DFT, Algorithm.DFTT, Algorithm.BLOOM, Algorithm.SKCH]
+)
+def test_filtered_algorithms_run_with_time_windows(algorithm):
+    result = run_experiment(time_config(algorithm))
+    assert result.truth_pairs > 0
+    assert 0.0 <= result.epsilon <= 1.0
+    assert result.reported_pairs <= result.truth_pairs
+
+
+def test_wider_span_yields_more_results():
+    narrow = run_experiment(time_config(Algorithm.BASE, window_seconds=0.5))
+    wide = run_experiment(time_config(Algorithm.BASE, window_seconds=4.0))
+    assert wide.truth_pairs > narrow.truth_pairs
+
+
+def test_time_window_population_tracks_rate_times_span():
+    """At 150/s system-wide over 4 nodes with a 2 s span, each node's
+    per-stream window should hover near 150/4/2 * 2 = 37.5 tuples."""
+    from repro.core.system import DistributedJoinSystem
+
+    system = DistributedJoinSystem(time_config(Algorithm.BASE))
+    system.run()
+    from repro.streams.tuples import StreamId
+
+    populations = [
+        len(node.join.window(stream))
+        for node in system.nodes
+        for stream in (StreamId.R, StreamId.S)
+    ]
+    mean_population = sum(populations) / len(populations)
+    assert 10 < mean_population < 80

@@ -1,0 +1,110 @@
+"""Unit tests for the post-run analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    byte_matrix,
+    load_balance_report,
+    message_matrix,
+    similarity_matrix,
+    top_talkers,
+)
+from repro.config import Algorithm, PolicyConfig, SystemConfig, WorkloadConfig
+from repro.core.system import DistributedJoinSystem
+from repro.errors import ConfigurationError
+from repro.net.link import LinkSpec
+from repro.net.message import Message, MessageKind
+from repro.net.simulator import EventScheduler
+from repro.net.topology import Network
+from repro.streams.tuples import StreamId
+
+
+class Sink:
+    def on_message(self, message):
+        pass
+
+
+def small_system(algorithm=Algorithm.DFTT):
+    config = SystemConfig(
+        num_nodes=3,
+        window_size=64,
+        policy=PolicyConfig(algorithm=algorithm, kappa=4.0),
+        workload=WorkloadConfig(total_tuples=900, domain=512, arrival_rate=150.0),
+        seed=19,
+    )
+    system = DistributedJoinSystem(config)
+    result = system.run()
+    return system, result
+
+
+class TestTrafficMatrix:
+    def _network(self):
+        scheduler = EventScheduler()
+        network = Network(scheduler, spec=LinkSpec(), rng=np.random.default_rng(3))
+        for node_id in (0, 1, 2):
+            network.register(node_id, Sink())
+        return network
+
+    def test_matrices_reflect_sends(self):
+        network = self._network()
+        for _ in range(3):
+            network.send(Message(kind=MessageKind.TUPLE, source=0, destination=1))
+        network.send(Message(kind=MessageKind.TUPLE, source=2, destination=0))
+        messages = message_matrix(network)
+        assert messages[0, 1] == 3
+        assert messages[2, 0] == 1
+        assert messages[1, 2] == 0
+        message_bytes = byte_matrix(network)
+        assert message_bytes[0, 1] == 3 * 72
+
+    def test_diagonal_is_zero(self):
+        network = self._network()
+        assert message_matrix(network).diagonal().sum() == 0
+
+    def test_top_talkers_ordering(self):
+        network = self._network()
+        for _ in range(5):
+            network.send(Message(kind=MessageKind.TUPLE, source=1, destination=2))
+        network.send(Message(kind=MessageKind.TUPLE, source=0, destination=1))
+        talkers = top_talkers(network, count=2)
+        assert talkers[0][:2] == (1, 2)
+        assert talkers[0][2] == 5
+        with pytest.raises(ConfigurationError):
+            top_talkers(network, count=0)
+
+    def test_empty_network_rejected(self):
+        scheduler = EventScheduler()
+        network = Network(scheduler, rng=np.random.default_rng(4))
+        with pytest.raises(ConfigurationError):
+            message_matrix(network)
+
+
+class TestLoadBalance:
+    def test_report_fields(self):
+        _, result = small_system()
+        report = load_balance_report(result, metric="tuples_processed")
+        assert set(report.per_node) == {0, 1, 2}
+        assert report.minimum <= report.mean <= report.maximum
+        assert 1 / 3 <= report.jain_index <= 1.0
+        assert report.imbalance >= 1.0
+
+    def test_unknown_metric_rejected(self):
+        _, result = small_system()
+        with pytest.raises(ConfigurationError):
+            load_balance_report(result, metric="nonexistent")
+
+
+class TestSimilarityMatrix:
+    def test_dftt_matrix_shape_and_range(self):
+        system, _ = small_system(Algorithm.DFTT)
+        matrix = similarity_matrix(system, StreamId.R)
+        assert matrix.shape == (3, 3)
+        assert np.allclose(matrix.diagonal(), 1.0)
+        off_diagonal = matrix[~np.eye(3, dtype=bool)]
+        assert ((0.0 <= off_diagonal) & (off_diagonal <= 1.0)).all()
+
+    def test_base_policy_rejected(self):
+        system, _ = small_system(Algorithm.BASE)
+        with pytest.raises(ConfigurationError):
+            similarity_matrix(system)

@@ -1,0 +1,47 @@
+"""Unit tests for the ASCII line charts."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.ascii_plot import line_chart
+
+
+def test_single_series_renders():
+    chart = line_chart({"DFTT": [(2, 0.1), (4, 0.2), (8, 0.4)]})
+    assert "*" in chart
+    assert "DFTT" in chart
+    assert "0.4" in chart and "0.1" in chart  # y-axis labels
+
+
+def test_multiple_series_use_distinct_glyphs():
+    chart = line_chart(
+        {"A": [(0, 0.0), (1, 1.0)], "B": [(0, 1.0), (1, 0.0)]}
+    )
+    assert "*" in chart and "o" in chart
+    assert "A" in chart and "B" in chart
+
+
+def test_extremes_map_to_canvas_corners():
+    chart = line_chart({"S": [(0, 0.0), (10, 1.0)]}, width=20, height=5)
+    lines = chart.splitlines()
+    assert lines[0].endswith("*")  # max y at top-right
+    assert lines[4].split("|")[1][0] == "*"  # min y at bottom-left
+
+
+def test_constant_series_does_not_crash():
+    chart = line_chart({"flat": [(0, 5.0), (1, 5.0)]})
+    assert "flat" in chart
+
+
+def test_y_label_in_legend():
+    chart = line_chart({"S": [(0, 1.0)]}, y_label="epsilon")
+    assert "[y: epsilon]" in chart
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        line_chart({})
+    with pytest.raises(ConfigurationError):
+        line_chart({"S": [(0, 1.0)]}, width=4)
+    with pytest.raises(ConfigurationError):
+        line_chart({str(i): [(0, i)] for i in range(20)})

@@ -1,0 +1,72 @@
+"""Unit tests for the standard Bloom filter."""
+
+import numpy as np
+import pytest
+
+from repro.bloom.standard import BloomFilter, optimal_num_hashes
+from repro.errors import SummaryError
+
+
+def _filter(bits=1024, hashes=4, seed=0):
+    return BloomFilter(bits, hashes, rng=np.random.default_rng(seed))
+
+
+def test_validation():
+    with pytest.raises(SummaryError):
+        BloomFilter(0, 1)
+    with pytest.raises(SummaryError):
+        BloomFilter(8, 0)
+    with pytest.raises(SummaryError):
+        optimal_num_hashes(0, 10)
+
+
+def test_optimal_num_hashes():
+    assert optimal_num_hashes(1000, 100) == 7  # (m/n) ln 2 = 6.93
+    assert optimal_num_hashes(10, 1000) == 1
+
+
+def test_no_false_negatives():
+    bloom = _filter()
+    keys = list(range(100))
+    bloom.update(keys)
+    assert all(key in bloom for key in keys)
+
+
+def test_false_positive_rate_is_reasonable():
+    bloom = _filter(bits=2048, hashes=5)
+    bloom.update(range(200))
+    false_positives = sum(1 for key in range(10_000, 12_000) if key in bloom)
+    assert false_positives / 2000 < 0.15
+
+
+def test_empty_filter_rejects_everything():
+    bloom = _filter()
+    assert 5 not in bloom
+    assert bloom.fill_ratio() == 0.0
+
+
+def test_fill_ratio_and_fp_estimate_monotone():
+    bloom = _filter()
+    bloom.update(range(50))
+    early_fill = bloom.fill_ratio()
+    early_fp = bloom.false_positive_rate()
+    bloom.update(range(50, 500))
+    assert bloom.fill_ratio() > early_fill
+    assert bloom.false_positive_rate() > early_fp
+
+
+def test_spawn_compatible_shares_hashes():
+    bloom = _filter()
+    bloom.add(7)
+    other = bloom.spawn_compatible()
+    assert 7 not in other  # empty
+    other.add(7)
+    assert 7 in other
+    # Same hash functions: identical bit patterns for the same key.
+    assert np.array_equal(bloom._bits, other._bits)
+
+
+def test_serialized_entries():
+    bloom = _filter(bits=1600)
+    assert bloom.serialized_entries() == 10  # 1600 bits / 160 bits-per-entry
+    assert _filter(bits=10).serialized_entries() == 1

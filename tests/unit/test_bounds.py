@@ -1,0 +1,90 @@
+"""Unit tests for Theorems 1-3."""
+
+import math
+
+import pytest
+
+from repro.core.bounds import (
+    Budget,
+    baseline_message_complexity,
+    uniform_error_bound,
+    uniform_message_complexity,
+    zipf_error_bound,
+)
+from repro.errors import ConfigurationError
+
+
+class TestUniformBounds:
+    def test_theorem1_formula(self):
+        assert uniform_error_bound(10, Budget.CONSTANT) == pytest.approx(1 - 2 / 10)
+        assert uniform_error_bound(2, Budget.CONSTANT) == 0.0
+
+    def test_theorem2_formula(self):
+        n = 16
+        expected = 1 - (1 + math.log2(n)) / n
+        assert uniform_error_bound(n, Budget.LOGARITHMIC) == pytest.approx(expected)
+
+    def test_theorems_agree_at_two_nodes(self):
+        assert uniform_error_bound(2, Budget.CONSTANT) == pytest.approx(
+            uniform_error_bound(2, Budget.LOGARITHMIC)
+        )
+
+    def test_log_budget_always_at_least_as_accurate(self):
+        for n in range(2, 60):
+            assert uniform_error_bound(n, Budget.LOGARITHMIC) <= uniform_error_bound(
+                n, Budget.CONSTANT
+            ) + 1e-12
+
+    def test_error_grows_with_n(self):
+        errors = [uniform_error_bound(n, Budget.LOGARITHMIC) for n in range(4, 50)]
+        assert errors == sorted(errors)
+
+    def test_message_complexity(self):
+        assert uniform_message_complexity(20, Budget.CONSTANT) == 1.0
+        assert uniform_message_complexity(16, Budget.LOGARITHMIC) == pytest.approx(4.0)
+        assert uniform_message_complexity(2, Budget.LOGARITHMIC) == 1.0
+
+    def test_baseline_complexity(self):
+        assert baseline_message_complexity(20) == 19.0
+
+    def test_three_fold_reduction_at_large_n(self):
+        """Figure 3(b)'s observation: log N is a ~3x saving over N-1 at N=20... relative to itself times 3."""
+        n = 20
+        assert baseline_message_complexity(n) / uniform_message_complexity(
+            n, Budget.LOGARITHMIC
+        ) > 3.0
+
+    def test_invalid_n(self):
+        with pytest.raises(ConfigurationError):
+            uniform_error_bound(1, Budget.CONSTANT)
+
+
+class TestZipfBounds:
+    def test_printed_formulas(self):
+        alpha, n = 0.4, 10
+        expected_o1 = 1 - (alpha + alpha**2) / n
+        assert zipf_error_bound(n, alpha, Budget.CONSTANT) == pytest.approx(expected_o1)
+        exponent = math.log2(n) + 1
+        expected_olog = 1 - (alpha - alpha**exponent) / (1 - alpha)
+        assert zipf_error_bound(n, alpha, Budget.LOGARITHMIC) == pytest.approx(
+            expected_olog
+        )
+
+    def test_log_budget_plateaus_under_skew(self):
+        """Figure 4's point: the O(log N) error stops growing with N."""
+        errors = [zipf_error_bound(n, 0.4, Budget.LOGARITHMIC) for n in range(2, 21)]
+        assert max(errors) - min(errors) < 0.35
+        assert errors[-1] < uniform_error_bound(20, Budget.LOGARITHMIC)
+
+    def test_clamped_into_unit_interval(self):
+        for n in range(2, 21):
+            for alpha in (0.1, 0.4, 0.9):
+                for budget in Budget:
+                    value = zipf_error_bound(n, alpha, budget)
+                    assert 0.0 <= value <= 1.0
+
+    def test_alpha_validation(self):
+        with pytest.raises(ConfigurationError):
+            zipf_error_bound(5, 0.0, Budget.CONSTANT)
+        with pytest.raises(ConfigurationError):
+            zipf_error_bound(5, 1.0, Budget.CONSTANT)

@@ -1,0 +1,81 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, config_from_args, main
+from repro.config import Algorithm, WindowKind, WorkloadKind
+
+
+def parse(argv):
+    return build_parser().parse_args(argv)
+
+
+FAST = ["--tuples", "400", "--nodes", "3", "--window", "48", "--domain", "256"]
+
+
+class TestArgumentTranslation:
+    def test_defaults(self):
+        config = config_from_args(parse([]))
+        assert config.policy.algorithm is Algorithm.DFTT
+        assert config.num_nodes == 6
+        assert config.workload.kind is WorkloadKind.ZIPF
+        assert config.window_kind is WindowKind.COUNT
+        config.validate()
+
+    def test_algorithm_and_workload_choices(self):
+        config = config_from_args(
+            parse(["--algorithm", "BLOOM", "--workload", "FIN"])
+        )
+        assert config.policy.algorithm is Algorithm.BLOOM
+        assert config.workload.kind is WorkloadKind.FINANCIAL
+
+    def test_time_windows(self):
+        config = config_from_args(parse(["--window-seconds", "2.5"]))
+        assert config.window_kind is WindowKind.TIME
+        assert config.window_seconds == 2.5
+
+    def test_budget_and_loss(self):
+        config = config_from_args(parse(["--budget", "2.0", "--loss", "0.1"]))
+        assert config.policy.flow.budget_override == 2.0
+        assert config.link.loss_probability == 0.1
+
+    def test_invalid_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            parse(["--algorithm", "MAGIC"])
+
+
+class TestMain:
+    def test_text_output(self, capsys):
+        assert main(FAST + ["--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "epsilon" in out
+        assert "msgs/result" in out
+
+    def test_json_output(self, capsys):
+        assert main(FAST + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["config"]["algorithm"] == "DFTT"
+        assert "epsilon" in payload["metrics"]
+        assert "node_diagnostics" not in payload
+
+    def test_json_verbose_includes_diagnostics(self, capsys):
+        assert main(FAST + ["--json", "--verbose"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["node_diagnostics"]) == 3
+
+    def test_invalid_config_returns_error(self, capsys):
+        assert main(["--nodes", "1"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_verbose_text(self, capsys):
+        assert main(FAST + ["--verbose"]) == 0
+        assert "node 0:" in capsys.readouterr().out
+
+    def test_deterministic_across_invocations(self, capsys):
+        main(FAST + ["--json", "--seed", "11"])
+        first = json.loads(capsys.readouterr().out)
+        main(FAST + ["--json", "--seed", "11"])
+        second = json.loads(capsys.readouterr().out)
+        assert first["metrics"] == second["metrics"]

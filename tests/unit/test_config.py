@@ -1,0 +1,104 @@
+"""Unit tests for configuration dataclasses."""
+
+import math
+
+import pytest
+
+from repro.config import (
+    Algorithm,
+    PolicyConfig,
+    SystemConfig,
+    WorkloadConfig,
+    WorkloadKind,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPolicyConfig:
+    def test_defaults_validate(self):
+        PolicyConfig().validate()
+
+    def test_summary_budget(self):
+        config = PolicyConfig(kappa=256.0)
+        assert config.summary_budget(1024) == 4
+        assert config.summary_budget(100) == 1  # floor at one entry
+
+    def test_invalid_fields(self):
+        with pytest.raises(ConfigurationError):
+            PolicyConfig(kappa=0.5).validate()
+        with pytest.raises(ConfigurationError):
+            PolicyConfig(summary_refresh_interval=0).validate()
+        with pytest.raises(ConfigurationError):
+            PolicyConfig(delta_tolerance=-1).validate()
+        with pytest.raises(ConfigurationError):
+            PolicyConfig(explore_probability=1.5).validate()
+
+    def test_with_overrides(self):
+        config = PolicyConfig(kappa=8.0)
+        updated = config.with_overrides(kappa=16.0)
+        assert updated.kappa == 16.0
+        assert config.kappa == 8.0  # original frozen
+
+
+class TestWorkloadConfig:
+    def test_defaults_validate(self):
+        WorkloadConfig().validate()
+
+    def test_invalid_fields(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(total_tuples=0).validate()
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(domain=1).validate()
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(arrival_rate=0).validate()
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(skew=-0.1).validate()
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(spread=1.0).validate()
+
+
+class TestSystemConfig:
+    def test_defaults_validate(self):
+        SystemConfig().validate()
+
+    def test_default_link_is_latency_only(self):
+        config = SystemConfig()
+        assert math.isinf(config.link.bandwidth_bps)
+
+    def test_invalid_fields(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(num_nodes=1).validate()
+        with pytest.raises(ConfigurationError):
+            SystemConfig(window_size=0).validate()
+        with pytest.raises(ConfigurationError):
+            SystemConfig(sender_paced_bps=0).validate()
+        with pytest.raises(ConfigurationError):
+            SystemConfig(summary_flush_multiple=0).validate()
+        with pytest.raises(ConfigurationError):
+            SystemConfig(shadow_window_size=0).validate()
+
+    def test_nested_validation_propagates(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(policy=PolicyConfig(kappa=0.1)).validate()
+
+    def test_effective_shadow_window_defaults_to_window(self):
+        assert SystemConfig(window_size=64).effective_shadow_window == 64
+        assert SystemConfig(window_size=64, shadow_window_size=7).effective_shadow_window == 7
+
+    def test_as_dict_echoes_key_parameters(self):
+        config = SystemConfig(
+            num_nodes=6,
+            policy=PolicyConfig(algorithm=Algorithm.BLOOM, kappa=32.0),
+            workload=WorkloadConfig(kind=WorkloadKind.FINANCIAL),
+            seed=99,
+        )
+        snapshot = config.as_dict()
+        assert snapshot["num_nodes"] == 6
+        assert snapshot["algorithm"] == "BLOOM"
+        assert snapshot["kappa"] == 32.0
+        assert snapshot["workload"] == "FIN"
+        assert snapshot["seed"] == 99
+
+    def test_with_overrides(self):
+        config = SystemConfig(num_nodes=4)
+        assert config.with_overrides(num_nodes=8).num_nodes == 8

@@ -1,0 +1,68 @@
+"""Unit tests for the exception hierarchy and RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro._rng import child, ensure_rng, spawn
+from repro.errors import (
+    CalibrationError,
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+    SummaryError,
+    WindowError,
+)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "error",
+        [ConfigurationError, SimulationError, WindowError, SummaryError, CalibrationError],
+    )
+    def test_all_derive_from_repro_error(self, error):
+        assert issubclass(error, ReproError)
+        with pytest.raises(ReproError):
+            raise error("boom")
+
+    def test_repro_error_is_an_exception(self):
+        assert issubclass(ReproError, Exception)
+
+
+class TestRng:
+    def test_ensure_rng_passthrough(self):
+        generator = np.random.default_rng(5)
+        assert ensure_rng(generator) is generator
+
+    def test_ensure_rng_from_seed_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1000, size=10)
+        b = ensure_rng(42).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_ensure_rng_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_spawn_children_are_independent_and_deterministic(self):
+        first = [g.integers(0, 10**6) for g in spawn(ensure_rng(7), 3)]
+        second = [g.integers(0, 10**6) for g in spawn(ensure_rng(7), 3)]
+        assert first == second
+        assert len(set(first)) > 1  # children differ from each other
+
+    def test_spawn_zero_children(self):
+        assert spawn(ensure_rng(1), 0) == []
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(ensure_rng(1), -1)
+
+    def test_child_is_single_spawn(self):
+        a = child(ensure_rng(9)).integers(0, 10**6)
+        b = spawn(ensure_rng(9), 1)[0].integers(0, 10**6)
+        assert a == b
+
+    def test_spawned_children_do_not_affect_parent_stream(self):
+        parent_a = ensure_rng(11)
+        spawn(parent_a, 4)
+        after_spawn = parent_a.integers(0, 10**6)
+        parent_b = ensure_rng(11)
+        spawn(parent_b, 4)
+        assert after_spawn == parent_b.integers(0, 10**6)

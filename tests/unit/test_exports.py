@@ -1,0 +1,49 @@
+"""Public-API integrity: every advertised name resolves."""
+
+import importlib
+
+import pytest
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.net",
+    "repro.streams",
+    "repro.dft",
+    "repro.sketches",
+    "repro.bloom",
+    "repro.join",
+    "repro.core",
+    "repro.core.policies",
+    "repro.metrics",
+    "repro.experiments",
+    "repro.analysis",
+]
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_module_all_resolves(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert getattr(module, name) is not None, "%s.%s" % (module_name, name)
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__.count(".") == 2
+
+
+def test_lazy_core_attributes():
+    core = importlib.import_module("repro.core")
+    assert core.JoinProcessingNode.__name__ == "JoinProcessingNode"
+    assert core.DistributedJoinSystem.__name__ == "DistributedJoinSystem"
+    assert core.RunResult.__name__ == "RunResult"
+    with pytest.raises(AttributeError):
+        core.NotAThing
+
+
+def test_star_import_is_clean():
+    namespace = {}
+    exec("from repro import *", namespace)  # noqa: S102 - deliberate API check
+    assert "run_experiment" in namespace
+    assert "SystemConfig" in namespace

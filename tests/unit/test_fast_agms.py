@@ -1,0 +1,116 @@
+"""Unit tests for Fast-AGMS sketches."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.errors import SummaryError
+from repro.sketches.fast_agms import FastAgmsSketch, FastSketchShape
+
+
+def _pair(total=2000, seed=0):
+    shape = FastSketchShape.from_total(total)
+    left = FastAgmsSketch(shape, rng=np.random.default_rng(seed))
+    return left, left.spawn_compatible()
+
+
+class TestShape:
+    def test_validation(self):
+        with pytest.raises(SummaryError):
+            FastSketchShape(rows=0, buckets=4)
+        with pytest.raises(SummaryError):
+            FastSketchShape.from_total(0)
+
+    def test_from_total(self):
+        shape = FastSketchShape.from_total(1000, rows=5)
+        assert shape.rows == 5
+        assert shape.buckets == 200
+        assert shape.total == 1000
+
+    def test_tiny_total(self):
+        shape = FastSketchShape.from_total(2, rows=5)
+        assert shape.rows == 2
+        assert shape.buckets == 1
+
+
+class TestFastAgms:
+    def test_update_touches_one_counter_per_row(self):
+        sketch, _ = _pair()
+        sketch.update(42, +1)
+        counters = sketch.counters()
+        assert (np.abs(counters).sum(axis=1) == 1).all()
+
+    def test_insert_delete_cancels(self):
+        sketch, _ = _pair()
+        sketch.update(7, +3)
+        sketch.update(7, -3)
+        assert np.allclose(sketch.counters(), 0.0)
+
+    def test_join_size_estimate_accuracy(self):
+        rng = np.random.default_rng(1)
+        left, right = _pair(total=4000, seed=2)
+        left_data = Counter(int(k) for k in rng.integers(1, 60, size=500))
+        right_data = Counter(int(k) for k in rng.integers(1, 60, size=500))
+        for key, count in left_data.items():
+            left.update(key, count)
+        for key, count in right_data.items():
+            right.update(key, count)
+        exact = sum(c * right_data[k] for k, c in left_data.items())
+        estimate = left.join_size_estimate(right)
+        assert abs(estimate - exact) / exact < 0.35
+
+    def test_self_join_estimate(self):
+        rng = np.random.default_rng(3)
+        sketch, _ = _pair(total=4000, seed=4)
+        data = Counter(int(k) for k in rng.integers(1, 40, size=600))
+        for key, count in data.items():
+            sketch.update(key, count)
+        exact_f2 = sum(c * c for c in data.values())
+        assert abs(sketch.self_join_size_estimate() - exact_f2) / exact_f2 < 0.35
+
+    def test_estimate_symmetry(self):
+        left, right = _pair(seed=5)
+        for key in range(50):
+            left.update(key)
+            right.update(key + 25)
+        assert left.join_size_estimate(right) == right.join_size_estimate(left)
+
+    def test_incompatible_sketches_rejected(self):
+        a, _ = _pair(seed=6)
+        b, _ = _pair(seed=7)
+        with pytest.raises(SummaryError):
+            a.join_size_estimate(b)
+
+    def test_zero_delta_noop(self):
+        sketch, _ = _pair()
+        sketch.update(1, 0)
+        assert sketch.updates == 0
+
+    def test_serialized_entries(self):
+        sketch, _ = _pair(total=2000)
+        assert sketch.serialized_entries() == sketch.shape.total
+
+    def test_agreement_with_plain_agms_on_join_size(self):
+        """Both estimators target the same inner product."""
+        from repro.sketches.agms import AgmsSketch, SketchShape
+
+        rng = np.random.default_rng(8)
+        keys_left = [int(k) for k in rng.integers(1, 50, size=400)]
+        keys_right = [int(k) for k in rng.integers(1, 50, size=400)]
+
+        plain_left = AgmsSketch(SketchShape.from_total(3000), rng=np.random.default_rng(9))
+        plain_right = plain_left.spawn_compatible()
+        fast_left, fast_right = _pair(total=3000, seed=10)
+        for key in keys_left:
+            plain_left.update(key)
+            fast_left.update(key)
+        for key in keys_right:
+            plain_right.update(key)
+            fast_right.update(key)
+        exact = sum(
+            count * Counter(keys_right)[key]
+            for key, count in Counter(keys_left).items()
+        )
+        assert abs(plain_left.join_size_estimate(plain_right) - exact) / exact < 0.4
+        assert abs(fast_left.join_size_estimate(fast_right) - exact) / exact < 0.4

@@ -1,0 +1,102 @@
+"""Unit tests for the flow controller."""
+
+import math
+
+import pytest
+
+from repro.core.flow import FlowController, FlowSettings
+from repro.errors import ConfigurationError
+
+
+class TestFlowSettings:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FlowSettings(budget_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            FlowSettings(budget_override=-1)
+        with pytest.raises(ConfigurationError):
+            FlowSettings(uniform_variance_threshold=-1e-9)
+        with pytest.raises(ConfigurationError):
+            FlowSettings(minimum_similarity=2.0)
+
+    def test_budget_interpolates_between_1_and_logn(self):
+        n = 16
+        assert FlowSettings(budget_fraction=0.0).budget(n) == 1.0
+        assert FlowSettings(budget_fraction=1.0).budget(n) == pytest.approx(4.0)
+        assert FlowSettings(budget_fraction=0.5).budget(n) == pytest.approx(2.5)
+
+    def test_budget_override_wins(self):
+        assert FlowSettings(budget_override=3.3).budget(16) == pytest.approx(3.3)
+
+    def test_budget_capped_at_n_minus_1(self):
+        assert FlowSettings(budget_override=100).budget(4) == 3.0
+
+    def test_budget_requires_two_nodes(self):
+        with pytest.raises(ConfigurationError):
+            FlowSettings().budget(1)
+
+
+class TestFlowController:
+    def test_probabilities_meet_budget(self):
+        controller = FlowController(9, FlowSettings(budget_override=2.0))
+        similarities = {j: 0.1 + 0.1 * j for j in range(8)}
+        probabilities = controller.probabilities(similarities)
+        assert controller.expected_transmissions(probabilities) == pytest.approx(2.0, abs=1e-6)
+        assert all(0.0 <= p <= 1.0 for p in probabilities.values())
+
+    def test_probabilities_proportional_below_cap(self):
+        controller = FlowController(5, FlowSettings(budget_override=1.0))
+        probabilities = controller.probabilities({1: 0.1, 2: 0.2, 3: 0.4})
+        assert probabilities[2] == pytest.approx(2 * probabilities[1], rel=1e-6)
+        assert probabilities[3] == pytest.approx(4 * probabilities[1], rel=1e-6)
+
+    def test_saturation_waterfills(self):
+        controller = FlowController(4, FlowSettings(budget_override=2.5))
+        probabilities = controller.probabilities({1: 1.0, 2: 0.01, 3: 0.01})
+        assert probabilities[1] == 1.0
+        assert probabilities[2] == pytest.approx(0.75, abs=1e-6)
+        assert controller.expected_transmissions(probabilities) == pytest.approx(2.5, abs=1e-6)
+
+    def test_all_zero_similarities_spread_uniformly(self):
+        controller = FlowController(5, FlowSettings(budget_override=2.0))
+        probabilities = controller.probabilities({j: 0.0 for j in range(4)})
+        assert all(p == pytest.approx(0.5) for p in probabilities.values())
+
+    def test_budget_larger_than_peers_saturates_everyone(self):
+        controller = FlowController(3, FlowSettings(budget_override=10.0))
+        probabilities = controller.probabilities({1: 0.5, 2: 0.1})
+        assert probabilities == {1: 1.0, 2: 1.0}
+
+    def test_empty_similarities(self):
+        controller = FlowController(3)
+        assert controller.probabilities({}) == {}
+
+    def test_minimum_similarity_floor(self):
+        controller = FlowController(
+            4, FlowSettings(budget_override=1.5, minimum_similarity=0.2)
+        )
+        probabilities = controller.probabilities({1: 0.0, 2: 0.0, 3: 1.0})
+        assert probabilities[1] > 0.0
+
+    def test_worst_case_detection_on_flat_similarities(self):
+        controller = FlowController(5)
+        flat = {j: 0.42 for j in range(4)}
+        assert controller.is_uniform_worst_case(flat)
+        assert controller.uniform_detections == 1
+
+    def test_no_detection_on_varied_similarities(self):
+        controller = FlowController(5)
+        varied = {0: 0.9, 1: 0.1, 2: 0.5, 3: 0.2}
+        assert not controller.is_uniform_worst_case(varied)
+
+    def test_single_peer_never_flags_worst_case(self):
+        controller = FlowController(2)
+        assert not controller.is_uniform_worst_case({1: 0.3})
+
+    def test_needs_two_nodes(self):
+        with pytest.raises(ConfigurationError):
+            FlowController(1)
+
+    def test_budget_property(self):
+        controller = FlowController(8, FlowSettings(budget_fraction=1.0))
+        assert controller.budget == pytest.approx(math.log2(8))

@@ -1,0 +1,115 @@
+"""Unit tests for the WAN link model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.link import Link, LinkSpec
+from repro.net.message import Message, MessageKind
+from repro.net.simulator import EventScheduler
+
+
+def _tuple_message():
+    return Message(kind=MessageKind.TUPLE, source=0, destination=1)
+
+
+def _make_link(spec, delivered):
+    scheduler = EventScheduler()
+    link = Link(scheduler, spec, deliver=delivered.append, rng=np.random.default_rng(7))
+    return scheduler, link
+
+
+def test_default_spec_matches_paper():
+    spec = LinkSpec()
+    assert spec.bandwidth_bps == 90_000.0
+    assert spec.latency_min_s == 0.020
+    assert spec.latency_max_s == 0.100
+
+
+def test_invalid_specs_rejected():
+    with pytest.raises(ConfigurationError):
+        LinkSpec(bandwidth_bps=0).validate()
+    with pytest.raises(ConfigurationError):
+        LinkSpec(latency_min_s=0.2, latency_max_s=0.1).validate()
+    with pytest.raises(ConfigurationError):
+        LinkSpec(latency_min_s=-0.1).validate()
+
+
+def test_delivery_includes_transmission_and_latency():
+    delivered = []
+    spec = LinkSpec(latency_min_s=0.05, latency_max_s=0.05)
+    scheduler, link = _make_link(spec, delivered)
+    message = _tuple_message()
+    expected_tx = message.size_bytes() * 8.0 / spec.bandwidth_bps
+    arrival = link.send(message)
+    assert arrival == pytest.approx(expected_tx + 0.05)
+    scheduler.run()
+    assert delivered == [message]
+    assert scheduler.now == pytest.approx(arrival)
+
+
+def test_fifo_serialization_backlog():
+    delivered = []
+    spec = LinkSpec(latency_min_s=0.0, latency_max_s=0.0)
+    scheduler, link = _make_link(spec, delivered)
+    first = _tuple_message()
+    second = _tuple_message()
+    t1 = link.send(first)
+    t2 = link.send(second)
+    tx = link.transmission_time(first)
+    assert t1 == pytest.approx(tx)
+    assert t2 == pytest.approx(2 * tx)
+    assert link.queue_depth_seconds() == pytest.approx(2 * tx)
+    scheduler.run()
+    assert delivered == [first, second]
+
+
+def test_latency_sampled_within_range():
+    delivered = []
+    spec = LinkSpec(latency_min_s=0.02, latency_max_s=0.1)
+    scheduler, link = _make_link(spec, delivered)
+    tx = link.transmission_time(_tuple_message())
+    free_at = 0.0
+    for _ in range(50):
+        message = _tuple_message()
+        arrival = link.send(message)
+        free_at += tx
+        latency = arrival - free_at
+        # FIFO ordering can only delay beyond the sampled latency.
+        assert latency >= 0.02 - 1e-12
+    scheduler.run()
+    assert len(delivered) == 50
+
+
+def test_order_preserved_end_to_end():
+    delivered = []
+    spec = LinkSpec(latency_min_s=0.0, latency_max_s=0.5, preserve_order=True)
+    scheduler, link = _make_link(spec, delivered)
+    messages = [_tuple_message() for _ in range(30)]
+    for message in messages:
+        link.send(message)
+    scheduler.run()
+    assert delivered == messages
+
+
+def test_infinite_bandwidth_means_zero_serialization():
+    delivered = []
+    spec = LinkSpec(bandwidth_bps=math.inf, latency_min_s=0.03, latency_max_s=0.03)
+    scheduler, link = _make_link(spec, delivered)
+    arrival = link.send(_tuple_message())
+    assert arrival == pytest.approx(0.03)
+
+
+def test_counters_accumulate():
+    delivered = []
+    scheduler, link = _make_link(LinkSpec(), delivered)
+    total = 0
+    for _ in range(4):
+        message = _tuple_message()
+        total += message.size_bytes()
+        link.send(message)
+    assert link.messages_sent == 4
+    assert link.bytes_sent == total
+    assert link.busy_seconds == pytest.approx(total * 8.0 / 90_000.0)

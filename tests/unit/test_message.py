@@ -1,0 +1,46 @@
+"""Unit tests for the message size model."""
+
+from repro.net.message import (
+    HEADER_BYTES,
+    SUMMARY_COEFFICIENT_BYTES,
+    TUPLE_KEY_BYTES,
+    TUPLE_PAYLOAD_BYTES,
+    Message,
+    MessageKind,
+)
+
+
+def _msg(kind, entries=0):
+    return Message(kind=kind, source=0, destination=1, summary_entries=entries)
+
+
+def test_tuple_message_size():
+    message = _msg(MessageKind.TUPLE)
+    assert message.size_bytes() == HEADER_BYTES + TUPLE_KEY_BYTES + TUPLE_PAYLOAD_BYTES
+
+
+def test_piggybacked_summary_adds_entry_bytes():
+    bare = _msg(MessageKind.TUPLE)
+    loaded = _msg(MessageKind.TUPLE, entries=3)
+    assert loaded.size_bytes() == bare.size_bytes() + 3 * SUMMARY_COEFFICIENT_BYTES
+    assert loaded.summary_bytes() == 3 * SUMMARY_COEFFICIENT_BYTES
+    assert loaded.tuple_bytes() == bare.tuple_bytes()
+
+
+def test_standalone_summary_has_no_tuple_body():
+    message = _msg(MessageKind.SUMMARY, entries=5)
+    assert message.tuple_bytes() == 0
+    assert message.size_bytes() == HEADER_BYTES + 5 * SUMMARY_COEFFICIENT_BYTES
+
+
+def test_result_message_carries_tuple_body():
+    assert _msg(MessageKind.RESULT).tuple_bytes() == TUPLE_KEY_BYTES + TUPLE_PAYLOAD_BYTES
+
+
+def test_control_message_is_small():
+    assert _msg(MessageKind.CONTROL).size_bytes() == HEADER_BYTES + TUPLE_KEY_BYTES
+
+
+def test_message_ids_are_unique():
+    ids = {_msg(MessageKind.TUPLE).message_id for _ in range(100)}
+    assert len(ids) == 100

@@ -1,0 +1,152 @@
+"""Unit tests for the node runtime (small hand-built systems)."""
+
+import math
+
+import pytest
+
+from repro.config import Algorithm, PolicyConfig, SystemConfig, WorkloadConfig
+from repro.core.node import JoinProcessingNode
+from repro.core.policies import PolicyContext, make_policy
+from repro.join.ground_truth import GroundTruthOracle
+from repro.metrics.accounting import ResultCollector
+from repro.net.link import LinkSpec
+from repro.net.simulator import EventScheduler
+from repro.net.topology import Network
+from repro.streams.tuples import StreamId, StreamTuple
+
+import numpy as np
+
+
+def build_pair(algorithm=Algorithm.BASE, window=8, latency=0.0):
+    """Two nodes wired through a latency-only network."""
+    config = SystemConfig(
+        num_nodes=2,
+        window_size=window,
+        policy=PolicyConfig(algorithm=algorithm, kappa=2.0),
+        workload=WorkloadConfig(domain=64),
+        link=LinkSpec(
+            bandwidth_bps=math.inf, latency_min_s=latency, latency_max_s=latency
+        ),
+    )
+    scheduler = EventScheduler()
+    network = Network(scheduler, spec=config.link, rng=np.random.default_rng(0))
+    oracle = GroundTruthOracle()
+    collector = ResultCollector()
+    nodes = []
+    for node_id in (0, 1):
+        context = PolicyContext(
+            node_id=node_id,
+            peer_ids=(1 - node_id,),
+            window_size=window,
+            domain=64,
+            config=config.policy,
+            rng=np.random.default_rng(node_id),
+        )
+        node = JoinProcessingNode(
+            node_id=node_id,
+            config=config,
+            scheduler=scheduler,
+            network=network,
+            policy=make_policy(context, {}),
+            oracle=oracle,
+            collector=collector,
+        )
+        network.register(node_id, node)
+        nodes.append(node)
+    return scheduler, network, oracle, collector, nodes
+
+
+def make_tuple(stream, key, origin, index=0):
+    return StreamTuple(stream=stream, key=key, origin_node=origin, arrival_index=index)
+
+
+def test_local_join_produces_result():
+    scheduler, _, oracle, collector, nodes = build_pair()
+    nodes[0].on_local_arrival(make_tuple(StreamId.R, 5, 0))
+    nodes[0].on_local_arrival(make_tuple(StreamId.S, 5, 0))
+    scheduler.run()
+    assert oracle.total_result_pairs == 1
+    assert collector.reported_pairs == 1
+
+
+def test_remote_join_via_forwarded_copy():
+    scheduler, _, oracle, collector, nodes = build_pair()
+    nodes[1].on_local_arrival(make_tuple(StreamId.S, 9, 1))
+    scheduler.run()
+    nodes[0].on_local_arrival(make_tuple(StreamId.R, 9, 0))
+    scheduler.run()
+    # BASE forwards the R tuple to node 1 where it meets the S tuple.
+    assert oracle.total_result_pairs == 1
+    assert collector.reported_pairs == 1
+
+
+def test_shadow_window_catches_late_arrivals():
+    scheduler, _, oracle, collector, nodes = build_pair()
+    # R arrives first and is copied to node 1's shadow window.
+    nodes[0].on_local_arrival(make_tuple(StreamId.R, 3, 0))
+    scheduler.run()
+    # S then arrives at node 1: the local probe of the shadow finds the copy.
+    nodes[1].on_local_arrival(make_tuple(StreamId.S, 3, 1))
+    scheduler.run()
+    assert collector.reported_pairs == 1
+
+
+def test_service_time_includes_sender_pause():
+    scheduler, network, _, _, nodes = build_pair()
+    nodes[0].on_local_arrival(make_tuple(StreamId.R, 1, 0))
+    scheduler.run()
+    message_bytes = 24 + 8 + 40
+    expected_pause = message_bytes * 8.0 / 90_000.0
+    assert nodes[0].busy_seconds == pytest.approx(0.0002 + expected_pause)
+
+
+def test_queue_serializes_processing():
+    scheduler, _, _, _, nodes = build_pair()
+    for index in range(5):
+        nodes[0].on_local_arrival(make_tuple(StreamId.R, index + 1, 0, index))
+    assert nodes[0].queue_depth >= 4  # only one started
+    scheduler.run()
+    assert nodes[0].tuples_processed == 5
+    assert nodes[0].max_queue_depth >= 4
+
+
+def test_remote_tuples_counted():
+    scheduler, _, _, _, nodes = build_pair()
+    nodes[0].on_local_arrival(make_tuple(StreamId.R, 1, 0))
+    scheduler.run()
+    assert nodes[1].remote_tuples_processed == 1
+
+
+def test_diagnostics_structure():
+    scheduler, _, _, _, nodes = build_pair()
+    nodes[0].on_local_arrival(make_tuple(StreamId.R, 1, 0))
+    scheduler.run()
+    diagnostics = nodes[0].diagnostics()
+    for key in ("tuples_processed", "local_results", "max_queue_depth"):
+        assert key in diagnostics
+
+
+def test_summary_piggybacking_for_dft_policy():
+    scheduler, network, _, _, nodes = build_pair(algorithm=Algorithm.DFT)
+    for index in range(64):
+        stream = StreamId.R if index % 2 == 0 else StreamId.S
+        nodes[0].on_local_arrival(make_tuple(stream, (index % 8) + 1, 0, index))
+    scheduler.run()
+    assert network.stats.summary_entries > 0
+
+
+def test_standalone_summary_flush():
+    scheduler, network, _, _, nodes = build_pair(algorithm=Algorithm.DFT)
+    # Node 1 receives local tuples but (probabilistically) may not forward
+    # to node 0 for a while; the flush path guarantees summary delivery.
+    for index in range(200):
+        stream = StreamId.R if index % 2 == 0 else StreamId.S
+        scheduler.schedule_at(
+            index * 0.01,
+            lambda s=stream, i=index: nodes[1].on_local_arrival(
+                make_tuple(s, (i % 8) + 1, 1, i)
+            ),
+        )
+    scheduler.run()
+    summaries_known = nodes[0].policy.remote.get(1, StreamId.R)
+    assert summaries_known is not None

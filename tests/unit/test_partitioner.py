@@ -1,0 +1,97 @@
+"""Unit tests for geographic-skew partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.streams.partitioner import GeographicPartitioner, PartitionerConfig
+
+
+def _partitioner(num_nodes=4, domain=1000, skew=0.85, spread=0.35, seed=3):
+    return GeographicPartitioner(
+        PartitionerConfig(num_nodes=num_nodes, domain=domain, skew=skew, spread=spread),
+        rng=np.random.default_rng(seed),
+    )
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        PartitionerConfig(num_nodes=0, domain=10).validate()
+    with pytest.raises(ConfigurationError):
+        PartitionerConfig(num_nodes=10, domain=5).validate()
+    with pytest.raises(ConfigurationError):
+        PartitionerConfig(num_nodes=2, domain=10, skew=1.5).validate()
+    with pytest.raises(ConfigurationError):
+        PartitionerConfig(num_nodes=2, domain=10, spread=1.0).validate()
+
+
+def test_placement_matrix_rows_are_distributions():
+    partitioner = _partitioner()
+    matrix = partitioner.placement_matrix
+    assert matrix.shape == (4, 4)
+    assert np.allclose(matrix.sum(axis=1), 1.0)
+    assert (matrix >= 0).all()
+
+
+def test_home_node_partitions_domain_contiguously():
+    partitioner = _partitioner(num_nodes=4, domain=1000)
+    assert partitioner.home_node(1) == 0
+    assert partitioner.home_node(250) == 0
+    assert partitioner.home_node(251) == 1
+    assert partitioner.home_node(1000) == 3
+
+
+def test_home_node_rejects_out_of_domain():
+    partitioner = _partitioner()
+    with pytest.raises(ConfigurationError):
+        partitioner.home_node(0)
+    with pytest.raises(ConfigurationError):
+        partitioner.home_node(1001)
+
+
+def test_high_skew_concentrates_on_home_node():
+    partitioner = _partitioner(skew=1.0, spread=0.05)
+    keys = [10] * 2000  # homed at node 0
+    nodes = partitioner.assign(keys)
+    assert np.mean(nodes == 0) > 0.9
+
+
+def test_zero_skew_is_uniform_placement():
+    partitioner = _partitioner(skew=0.0)
+    matrix = partitioner.placement_matrix
+    assert np.allclose(matrix, 1.0 / 4)
+
+
+def test_assign_matches_per_key_distribution():
+    partitioner = _partitioner(seed=8)
+    keys = np.full(5000, 600)  # home node 2 of 4
+    nodes = partitioner.assign(keys)
+    expected = partitioner.placement_matrix[2]
+    observed = np.bincount(nodes, minlength=4) / len(nodes)
+    assert np.abs(observed - expected).max() < 0.03
+
+
+def test_assign_empty_input():
+    partitioner = _partitioner()
+    assert partitioner.assign([]).size == 0
+
+
+def test_assign_rejects_out_of_domain_keys():
+    partitioner = _partitioner()
+    with pytest.raises(ConfigurationError):
+        partitioner.assign([0, 5])
+
+
+def test_route_pairs_keys_with_nodes():
+    partitioner = _partitioner()
+    routed = list(partitioner.route(iter([1, 500, 999])))
+    assert [key for key, _ in routed] == [1, 500, 999]
+    assert all(0 <= node < 4 for _, node in routed)
+
+
+def test_neighbor_affinity_decays_with_distance():
+    partitioner = _partitioner(num_nodes=8, spread=0.3)
+    row = partitioner.placement_matrix[0]
+    assert row[0] > row[1] > row[2]
+    # Ring distance: node 7 is adjacent to node 0.
+    assert row[7] == pytest.approx(row[1])

@@ -1,0 +1,64 @@
+"""Unit tests for result persistence."""
+
+import pytest
+
+from repro.core.results import RunResult
+from repro.errors import ConfigurationError
+from repro.experiments.persistence import (
+    load_results,
+    result_from_dict,
+    result_to_dict,
+    save_results,
+)
+
+
+def make_result():
+    return RunResult(
+        config={"algorithm": "DFTT", "num_nodes": 4},
+        truth_pairs=1000,
+        reported_pairs=850,
+        duplicate_reports=12,
+        spurious_reports=3,
+        tuples_arrived=5000,
+        duration_seconds=21.5,
+        arrival_span_seconds=20.0,
+        traffic={"summary_bytes": 100.0, "summary_overhead_fraction": 0.02},
+        messages_by_kind={"tuple": 9000, "summary": 100},
+        node_diagnostics={0: {"tuples_processed": 2500.0}, 1: {"tuples_processed": 2500.0}},
+        throughput_series=[(0, 40), (1, 42)],
+        sustained_throughput=41.0,
+    )
+
+
+def test_round_trip_via_dict():
+    original = make_result()
+    restored = result_from_dict(result_to_dict(original))
+    assert restored.epsilon == original.epsilon
+    assert restored.messages_per_result_tuple == original.messages_per_result_tuple
+    assert restored.node_diagnostics == original.node_diagnostics
+    assert restored.throughput_series == original.throughput_series
+
+
+def test_node_keys_restored_as_ints():
+    restored = result_from_dict(result_to_dict(make_result()))
+    assert set(restored.node_diagnostics) == {0, 1}
+
+
+def test_save_and_load_file(tmp_path):
+    path = tmp_path / "results.json"
+    save_results([make_result(), make_result()], path)
+    loaded = load_results(path)
+    assert len(loaded) == 2
+    assert loaded[0].truth_pairs == 1000
+
+
+def test_missing_file_rejected(tmp_path):
+    with pytest.raises(ConfigurationError):
+        load_results(tmp_path / "absent.json")
+
+
+def test_bad_version_rejected():
+    payload = result_to_dict(make_result())
+    payload["format_version"] = 99
+    with pytest.raises(ConfigurationError):
+        result_from_dict(payload)

@@ -1,0 +1,287 @@
+"""Unit tests for the forwarding policies (in isolation from the runtime)."""
+
+import numpy as np
+import pytest
+
+from repro.config import Algorithm, PolicyConfig
+from repro.core.flow import FlowSettings
+from repro.core.policies import (
+    BloomPolicy,
+    BroadcastPolicy,
+    DftPolicy,
+    DfttPolicy,
+    PolicyContext,
+    RoundRobinPolicy,
+    SketchPolicy,
+    make_policy,
+    make_shared_state,
+)
+from repro.errors import ConfigurationError
+from repro.streams.tuples import StreamId, StreamTuple
+
+WINDOW = 32
+DOMAIN = 1024
+
+
+def make_context(algorithm, num_nodes=4, seed=0, **policy_kwargs):
+    config = PolicyConfig(algorithm=algorithm, kappa=4.0, **policy_kwargs)
+    return PolicyContext(
+        node_id=0,
+        peer_ids=tuple(range(1, num_nodes)),
+        window_size=WINDOW,
+        domain=DOMAIN,
+        config=config,
+        rng=np.random.default_rng(seed),
+    )
+
+
+def make_tuple(key, stream=StreamId.R, index=0):
+    return StreamTuple(stream=stream, key=key, origin_node=0, arrival_index=index)
+
+
+def feed(policy, keys, stream=StreamId.R):
+    for index, key in enumerate(keys):
+        policy.on_local_insert(make_tuple(key, stream, index), [])
+
+
+class TestPolicyContext:
+    def test_rejects_self_peer(self):
+        with pytest.raises(ConfigurationError):
+            PolicyContext(
+                node_id=0,
+                peer_ids=(0, 1),
+                window_size=8,
+                domain=10,
+                config=PolicyConfig(),
+            )
+
+    def test_rejects_duplicate_peers(self):
+        with pytest.raises(ConfigurationError):
+            PolicyContext(
+                node_id=0,
+                peer_ids=(1, 1),
+                window_size=8,
+                domain=10,
+                config=PolicyConfig(),
+            )
+
+    def test_num_nodes(self):
+        context = make_context(Algorithm.BASE)
+        assert context.num_nodes == 4
+
+
+class TestFactory:
+    @pytest.mark.parametrize("algorithm", list(Algorithm))
+    def test_factory_builds_each_algorithm(self, algorithm):
+        context = make_context(algorithm)
+        shared = make_shared_state(context.config, WINDOW, rng=np.random.default_rng(1))
+        policy = make_policy(context, shared)
+        assert policy.name == algorithm.value or (
+            algorithm is Algorithm.ROUND_ROBIN and policy.name == "RR"
+        )
+
+    def test_bloom_without_shared_state_rejected(self):
+        context = make_context(Algorithm.BLOOM)
+        with pytest.raises(ConfigurationError):
+            make_policy(context, {})
+
+    def test_sketch_without_shared_state_rejected(self):
+        context = make_context(Algorithm.SKCH)
+        with pytest.raises(ConfigurationError):
+            make_policy(context, {})
+
+
+class TestBroadcastPolicy:
+    def test_sends_to_everyone(self):
+        policy = BroadcastPolicy(make_context(Algorithm.BASE))
+        assert policy.choose_destinations(make_tuple(5)) == [1, 2, 3]
+
+
+class TestRoundRobinPolicy:
+    def test_integer_budget_cycles(self):
+        context = make_context(
+            Algorithm.ROUND_ROBIN, flow=FlowSettings(budget_override=2.0)
+        )
+        policy = RoundRobinPolicy(context)
+        first = policy.choose_destinations(make_tuple(1))
+        second = policy.choose_destinations(make_tuple(2))
+        third = policy.choose_destinations(make_tuple(3))
+        assert first == [1, 2]
+        assert second == [3, 1]
+        assert third == [2, 3]
+
+    def test_fractional_budget_expected_rate(self):
+        context = make_context(
+            Algorithm.ROUND_ROBIN, num_nodes=6, flow=FlowSettings(budget_override=1.5)
+        )
+        policy = RoundRobinPolicy(context)
+        total = sum(len(policy.choose_destinations(make_tuple(i))) for i in range(2000))
+        assert total / 2000 == pytest.approx(1.5, abs=0.1)
+
+
+class TestDftPolicy:
+    def test_unknown_peers_get_prior_similarity(self):
+        policy = DftPolicy(make_context(Algorithm.DFT))
+        feed(policy, range(1, 33))
+        similarities = policy.peer_similarities(StreamId.R)
+        assert all(value == 0.5 for value in similarities.values())
+
+    def test_summaries_broadcast_after_refresh_interval(self):
+        context = make_context(Algorithm.DFT, summary_refresh_interval=8)
+        policy = DftPolicy(context)
+        feed(policy, range(1, 9))
+        assert policy.outbox.has_pending(1)
+
+    def test_remote_summary_shapes_similarity(self):
+        context = make_context(Algorithm.DFT, num_nodes=3, summary_refresh_interval=4)
+        policy = DftPolicy(context)
+        # Local R window lives around 100.
+        feed(policy, [100 + (i % 5) for i in range(WINDOW)], stream=StreamId.R)
+
+        def remote_map(center, seed):
+            rng = np.random.default_rng(seed)
+            values = rng.integers(center - 5, center + 5, size=WINDOW).astype(float)
+            spectrum = np.fft.fft(values)
+            return {k: complex(spectrum[k]) for k in range(8)}
+
+        from repro.core.summaries import SummaryUpdate
+
+        near = SummaryUpdate("dft", StreamId.S, 1, WINDOW, 8, remote_map(100, 1), False)
+        far = SummaryUpdate("dft", StreamId.S, 1, WINDOW, 8, remote_map(900, 2), False)
+        policy.on_remote_summary(1, near)
+        policy.on_remote_summary(2, far)
+        similarities = policy.peer_similarities(StreamId.R)
+        assert similarities[1] > similarities[2]
+
+    def test_destinations_within_peers(self):
+        policy = DftPolicy(make_context(Algorithm.DFT))
+        feed(policy, range(1, 40))
+        for index in range(20):
+            destinations = policy.choose_destinations(make_tuple(index + 1))
+            assert set(destinations).issubset({1, 2, 3})
+
+    def test_diagnostics_keys(self):
+        policy = DftPolicy(make_context(Algorithm.DFT))
+        diagnostics = policy.diagnostics()
+        assert "uniform_detections" in diagnostics
+        assert "dft_broadcasts" in diagnostics
+
+
+class TestDfttPolicy:
+    def _policy_with_remote(self, center=100, num_nodes=3):
+        context = make_context(Algorithm.DFTT, num_nodes=num_nodes, summary_refresh_interval=4)
+        policy = DfttPolicy(context)
+        feed(policy, [center + (i % 3) for i in range(WINDOW)], stream=StreamId.R)
+        from repro.core.summaries import SummaryUpdate
+
+        values = np.full(WINDOW, float(center))
+        spectrum = np.fft.fft(values)
+        payload = {k: complex(spectrum[k]) for k in range(8)}
+        update = SummaryUpdate("dft", StreamId.S, 1, WINDOW, 8, payload, False)
+        policy.on_remote_summary(1, update)
+        return policy
+
+    def test_reconstruction_lazy_and_cached(self):
+        policy = self._policy_with_remote()
+        window = policy.reconstructed_window(1, StreamId.S)
+        assert window is not None
+        assert policy.reconstruction_refreshes == 1
+        policy.reconstructed_window(1, StreamId.S)
+        assert policy.reconstruction_refreshes == 1  # cached
+
+    def test_join_estimate_hits_constant_window(self):
+        policy = self._policy_with_remote(center=100)
+        estimate = policy.join_estimate(make_tuple(100, StreamId.R), 1)
+        assert estimate is not None and estimate > WINDOW // 2
+
+    def test_join_estimate_unknown_peer_is_none(self):
+        policy = self._policy_with_remote()
+        assert policy.join_estimate(make_tuple(100, StreamId.R), 2) is None
+
+    def test_destinations_prefer_estimated_matches(self):
+        policy = self._policy_with_remote(center=100)
+        destinations = policy.choose_destinations(make_tuple(100, StreamId.R))
+        assert 1 in destinations
+
+    def test_match_tolerance_floor(self):
+        policy = self._policy_with_remote()
+        assert policy.match_tolerance(StreamId.R) >= 0.5
+
+
+class TestBloomPolicy:
+    def _pair(self, num_nodes=3, seed=2):
+        config = PolicyConfig(
+            algorithm=Algorithm.BLOOM, kappa=2.0, summary_refresh_interval=4
+        )
+        shared = make_shared_state(config, WINDOW, rng=np.random.default_rng(seed))
+        contexts = [
+            PolicyContext(
+                node_id=i,
+                peer_ids=tuple(p for p in range(num_nodes) if p != i),
+                window_size=WINDOW,
+                domain=DOMAIN,
+                config=config,
+                rng=np.random.default_rng(seed + i),
+            )
+            for i in range(num_nodes)
+        ]
+        return [BloomPolicy(c, shared) for c in contexts]
+
+    def test_snapshot_exchange_enables_membership(self):
+        a, b, _ = self._pair()
+        feed(b, [500] * 8, stream=StreamId.S)
+        update = b.outbox.take(0)
+        for u in update:
+            a.on_remote_summary(1, u)
+        remote = a.remote_filter(1, StreamId.S)
+        assert remote is not None
+        assert 500 in remote
+
+    def test_destinations_follow_hits(self):
+        a, b, c = self._pair()
+        feed(b, [500] * 8, stream=StreamId.S)
+        feed(c, [900] * 8, stream=StreamId.S)
+        for update in b.outbox.take(0):
+            a.on_remote_summary(1, update)
+        for update in c.outbox.take(0):
+            a.on_remote_summary(2, update)
+        hits = [a.choose_destinations(make_tuple(500, StreamId.R, i)) for i in range(20)]
+        assert all(1 in destinations for destinations in hits)
+
+    def test_window_eviction_updates_filter(self):
+        a, _, _ = self._pair()
+        item = make_tuple(42, StreamId.R)
+        a.on_local_insert(item, [])
+        assert 42 in a.filters[StreamId.R]
+        newer = make_tuple(43, StreamId.R)
+        a.on_local_insert(newer, [item])
+        assert 42 not in a.filters[StreamId.R]
+
+
+class TestSketchPolicy:
+    def test_similarities_track_overlap(self):
+        config = PolicyConfig(
+            algorithm=Algorithm.SKCH, kappa=1.0, summary_refresh_interval=4
+        )
+        shared = make_shared_state(config, WINDOW, rng=np.random.default_rng(3))
+        contexts = [
+            PolicyContext(
+                node_id=i,
+                peer_ids=tuple(p for p in range(3) if p != i),
+                window_size=WINDOW,
+                domain=DOMAIN,
+                config=config,
+                rng=np.random.default_rng(10 + i),
+            )
+            for i in range(3)
+        ]
+        a, b, c = [SketchPolicy(ctx, shared) for ctx in contexts]
+        feed(a, [100 + i % 4 for i in range(WINDOW)], stream=StreamId.R)
+        feed(b, [100 + i % 4 for i in range(WINDOW)], stream=StreamId.S)  # overlaps a
+        feed(c, [700 + i % 4 for i in range(WINDOW)], stream=StreamId.S)  # disjoint
+        for update in b.outbox.take(0):
+            a.on_remote_summary(1, update)
+        for update in c.outbox.take(0):
+            a.on_remote_summary(2, update)
+        similarities = a.peer_similarities(StreamId.R)
+        assert similarities[1] > similarities[2]

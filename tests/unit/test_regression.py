@@ -1,0 +1,91 @@
+"""Unit tests for the regression comparator."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.results import RunResult
+from repro.errors import ConfigurationError
+from repro.experiments.regression import RegressionReport, compare, run_key
+
+
+def make_result(seed=1, algorithm="DFTT", reported=850):
+    return RunResult(
+        config={
+            "algorithm": algorithm,
+            "num_nodes": 4,
+            "window_size": 128,
+            "kappa": 16.0,
+            "workload": "ZIPF",
+            "total_tuples": 2000,
+            "seed": seed,
+        },
+        truth_pairs=1000,
+        reported_pairs=reported,
+        duplicate_reports=0,
+        spurious_reports=0,
+        tuples_arrived=2000,
+        duration_seconds=10.0,
+        arrival_span_seconds=9.0,
+        traffic={"summary_overhead_fraction": 0.05},
+        messages_by_kind={"tuple": 4000},
+    )
+
+
+def test_identical_results_pass():
+    report = compare([make_result()], [make_result()])
+    assert report.passed
+    assert all(drift.within_tolerance for drift in report.drifts)
+
+
+def test_drift_beyond_tolerance_flags_regression():
+    baseline = make_result(reported=850)
+    worse = make_result(reported=600)  # epsilon 0.15 -> 0.40
+    report = compare([baseline], [worse], tolerance=0.10)
+    assert not report.passed
+    metrics = {drift.metric for drift in report.regressions}
+    assert "epsilon" in metrics
+
+
+def test_drift_within_tolerance_passes():
+    report = compare([make_result(reported=850)], [make_result(reported=845)])
+    assert report.passed
+
+
+def test_unmatched_runs_reported():
+    report = compare([make_result(seed=1)], [make_result(seed=2)])
+    assert not report.passed
+    assert len(report.unmatched_baseline) == 1
+    assert len(report.unmatched_candidate) == 1
+
+
+def test_duplicate_baseline_rejected():
+    with pytest.raises(ConfigurationError):
+        compare([make_result(), make_result()], [])
+
+
+def test_negative_tolerance_rejected():
+    with pytest.raises(ConfigurationError):
+        compare([], [], tolerance=-0.1)
+
+
+def test_run_key_uses_identifying_fields():
+    a, b = make_result(seed=1), make_result(seed=1, algorithm="BLOOM")
+    assert run_key(a) != run_key(b)
+    assert run_key(a) == run_key(make_result(seed=1))
+
+
+def test_format_renders_table():
+    report = compare([make_result()], [make_result(reported=500)])
+    text = report.format()
+    assert "epsilon" in text
+    assert "regression(s)" in text
+
+
+def test_round_trip_with_persistence(tmp_path):
+    from repro.experiments.persistence import load_results, save_results
+
+    path = tmp_path / "baseline.json"
+    save_results([make_result()], path)
+    report = compare(load_results(path), [make_result()])
+    assert report.passed

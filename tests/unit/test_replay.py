@@ -1,0 +1,128 @@
+"""Unit tests for trace replay."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.streams.replay import load_trace, replay_stream, trace_domain
+
+
+def write_text_trace(tmp_path, lines, name="trace.txt"):
+    path = tmp_path / name
+    path.write_text("\n".join(lines))
+    return path
+
+
+class TestLoadTrace:
+    def test_text_format(self, tmp_path):
+        path = write_text_trace(tmp_path, ["1", "2", "  3  ", "", "# comment", "4 # inline"])
+        assert load_trace(path).tolist() == [1, 2, 3, 4]
+
+    def test_npy_format(self, tmp_path):
+        path = tmp_path / "trace.npy"
+        np.save(path, np.array([5, 6, 7]))
+        assert load_trace(path).tolist() == [5, 6, 7]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_trace(tmp_path / "nope.txt")
+
+    def test_non_integer_line(self, tmp_path):
+        path = write_text_trace(tmp_path, ["1", "banana"])
+        with pytest.raises(ConfigurationError):
+            load_trace(path)
+
+    def test_empty_trace(self, tmp_path):
+        path = write_text_trace(tmp_path, ["# nothing"])
+        with pytest.raises(ConfigurationError):
+            load_trace(path)
+
+    def test_nonpositive_keys_rejected(self, tmp_path):
+        path = write_text_trace(tmp_path, ["0", "1"])
+        with pytest.raises(ConfigurationError):
+            load_trace(path)
+
+
+class TestReplayStream:
+    def test_cycling(self, tmp_path):
+        path = write_text_trace(tmp_path, ["1", "2", "3"])
+        values = list(itertools.islice(replay_stream(path), 7))
+        assert values == [1, 2, 3, 1, 2, 3, 1]
+
+    def test_no_cycle_stops(self, tmp_path):
+        path = write_text_trace(tmp_path, ["9", "8"])
+        assert list(replay_stream(path, cycle=False)) == [9, 8]
+
+    def test_trace_domain(self, tmp_path):
+        path = write_text_trace(tmp_path, ["3", "17", "5"])
+        assert trace_domain(path) == 17
+
+
+class TestReplayWorkload:
+    def test_end_to_end_run(self, tmp_path):
+        from repro.config import (
+            Algorithm,
+            PolicyConfig,
+            SystemConfig,
+            WorkloadConfig,
+            WorkloadKind,
+        )
+        from repro.core.system import run_experiment
+
+        rng = np.random.default_rng(3)
+        path = tmp_path / "keys.npy"
+        np.save(path, rng.integers(1, 100, size=500))
+        config = SystemConfig(
+            num_nodes=3,
+            window_size=48,
+            policy=PolicyConfig(algorithm=Algorithm.BASE),
+            workload=WorkloadConfig(
+                kind=WorkloadKind.REPLAY,
+                trace_path=str(path),
+                total_tuples=500,
+                domain=128,
+                arrival_rate=200.0,
+            ),
+            seed=5,
+        )
+        result = run_experiment(config)
+        assert result.tuples_arrived == 500
+        assert result.truth_pairs > 0
+        assert result.epsilon < 0.05
+
+    def test_trace_outside_domain_rejected(self, tmp_path):
+        from repro.config import (
+            Algorithm,
+            PolicyConfig,
+            SystemConfig,
+            WorkloadConfig,
+            WorkloadKind,
+        )
+        from repro.core.system import DistributedJoinSystem
+
+        path = tmp_path / "keys.txt"
+        path.write_text("1\n5000\n")
+        config = SystemConfig(
+            num_nodes=2,
+            window_size=16,
+            policy=PolicyConfig(algorithm=Algorithm.BASE),
+            workload=WorkloadConfig(
+                kind=WorkloadKind.REPLAY,
+                trace_path=str(path),
+                total_tuples=10,
+                domain=128,
+            ),
+        )
+        system = DistributedJoinSystem(config)
+        with pytest.raises(ConfigurationError):
+            system.schedule_workload()
+
+    def test_config_validation(self):
+        from repro.config import WorkloadConfig, WorkloadKind
+
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(kind=WorkloadKind.REPLAY).validate()
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(trace_path="x.txt").validate()

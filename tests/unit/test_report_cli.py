@@ -1,0 +1,45 @@
+"""Unit tests for the reproduction-report CLI (cheap subsets only)."""
+
+import pytest
+
+from repro.experiments.report import ALL_EXPERIMENTS, main
+
+
+def test_analytic_subset_runs(capsys):
+    assert main(["smoke", "--only", "fig3,fig4"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 3" in out
+    assert "Figure 4" in out
+    assert "report complete" in out
+    # Charts are rendered under the tables.
+    assert "[y: epsilon]" in out
+
+
+def test_table1_subset_runs(capsys):
+    assert main(["smoke", "--only", "fig5,fig6"]) == 0
+    out = capsys.readouterr().out
+    assert "chosen kappa" in out
+
+
+def test_unknown_experiment_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["smoke", "--only", "fig99"])
+
+
+def test_unknown_scale_rejected():
+    with pytest.raises(SystemExit):
+        main(["cosmic"])
+
+
+def test_experiment_registry_is_complete():
+    assert set(ALL_EXPERIMENTS) == {
+        "table1",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+    }

@@ -1,0 +1,62 @@
+"""Unit tests for RunResult derived metrics."""
+
+import pytest
+
+from repro.core.results import RunResult
+
+
+def make_result(**overrides):
+    defaults = dict(
+        config={"algorithm": "DFTT"},
+        truth_pairs=1000,
+        reported_pairs=850,
+        duplicate_reports=10,
+        spurious_reports=5,
+        tuples_arrived=5000,
+        duration_seconds=20.0,
+        arrival_span_seconds=18.0,
+        traffic={"summary_overhead_fraction": 0.02},
+        messages_by_kind={"tuple": 9000, "summary": 1000, "control": 3},
+    )
+    defaults.update(overrides)
+    return RunResult(**defaults)
+
+
+def test_epsilon():
+    assert make_result().epsilon == pytest.approx(0.15)
+
+
+def test_data_messages_excludes_control():
+    assert make_result().data_messages == 10_000
+
+
+def test_messages_per_result_tuple():
+    assert make_result().messages_per_result_tuple == pytest.approx(10_000 / 850)
+
+
+def test_messages_per_result_with_no_results():
+    result = make_result(reported_pairs=0)
+    assert result.messages_per_result_tuple == float("inf")
+
+
+def test_messages_per_arrival():
+    assert make_result().messages_per_arrival == pytest.approx(2.0)
+    assert make_result(tuples_arrived=0).messages_per_arrival == 0.0
+
+
+def test_throughput():
+    assert make_result().throughput == pytest.approx(42.5)
+    assert make_result(duration_seconds=0.0).throughput == 0.0
+
+
+def test_summary_overhead_fraction():
+    assert make_result().summary_overhead_fraction == pytest.approx(0.02)
+    assert make_result(traffic={}).summary_overhead_fraction == 0.0
+
+
+def test_summary_dictionary():
+    summary = make_result().summary()
+    assert summary["epsilon"] == pytest.approx(0.15)
+    assert summary["reported_pairs"] == 850.0
+    assert "messages_per_result_tuple" in summary
+    assert "throughput" in summary

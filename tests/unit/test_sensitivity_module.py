@@ -1,0 +1,35 @@
+"""Unit tests for the sensitivity experiment's structure (cheap paths)."""
+
+from repro.experiments.sensitivity import (
+    SensitivityRow,
+    format_rows,
+    sweep_alpha,
+    sweep_skew,
+)
+
+
+def test_row_advantage():
+    row = SensitivityRow(
+        parameter="skew", value=0.5, epsilon_dftt=0.1, epsilon_round_robin=0.25
+    )
+    assert row.advantage == 0.15
+
+
+def test_format_rows():
+    rows = [
+        SensitivityRow("skew", 0.0, 0.3, 0.31),
+        SensitivityRow("skew", 0.9, 0.15, 0.3),
+    ]
+    text = format_rows(rows)
+    assert "advantage" in text
+    assert "0.9" in text
+
+
+def test_single_point_sweeps_run():
+    skew_rows = sweep_skew(skews=(0.5,), seed=77)
+    assert len(skew_rows) == 1
+    assert skew_rows[0].parameter == "skew"
+    assert 0.0 <= skew_rows[0].epsilon_dftt <= 1.0
+    alpha_rows = sweep_alpha(alphas=(0.4,), seed=77)
+    assert len(alpha_rows) == 1
+    assert alpha_rows[0].parameter == "alpha"

@@ -1,0 +1,134 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net.simulator import EventScheduler
+
+
+def test_clock_starts_at_zero():
+    scheduler = EventScheduler()
+    assert scheduler.now == 0.0
+    assert scheduler.pending == 0
+
+
+def test_events_run_in_time_order():
+    scheduler = EventScheduler()
+    order = []
+    scheduler.schedule_at(2.0, lambda: order.append("b"))
+    scheduler.schedule_at(1.0, lambda: order.append("a"))
+    scheduler.schedule_at(3.0, lambda: order.append("c"))
+    scheduler.run()
+    assert order == ["a", "b", "c"]
+    assert scheduler.now == 3.0
+
+
+def test_simultaneous_events_preserve_insertion_order():
+    scheduler = EventScheduler()
+    order = []
+    for tag in range(5):
+        scheduler.schedule_at(1.0, lambda t=tag: order.append(t))
+    scheduler.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_schedule_in_is_relative_to_now():
+    scheduler = EventScheduler()
+    seen = []
+    scheduler.schedule_at(5.0, lambda: scheduler.schedule_in(2.5, lambda: seen.append(scheduler.now)))
+    scheduler.run()
+    assert seen == [7.5]
+
+
+def test_scheduling_in_the_past_raises():
+    scheduler = EventScheduler()
+    scheduler.schedule_at(1.0, lambda: None)
+    scheduler.run()
+    with pytest.raises(SimulationError):
+        scheduler.schedule_at(0.5, lambda: None)
+
+
+def test_negative_delay_raises():
+    scheduler = EventScheduler()
+    with pytest.raises(SimulationError):
+        scheduler.schedule_in(-1.0, lambda: None)
+
+
+def test_run_until_stops_before_later_events():
+    scheduler = EventScheduler()
+    fired = []
+    scheduler.schedule_at(1.0, lambda: fired.append(1))
+    scheduler.schedule_at(10.0, lambda: fired.append(10))
+    now = scheduler.run(until=5.0)
+    assert fired == [1]
+    assert now == 5.0
+    assert scheduler.pending == 1
+    scheduler.run()
+    assert fired == [1, 10]
+
+
+def test_run_until_advances_clock_even_with_no_events():
+    scheduler = EventScheduler()
+    assert scheduler.run(until=4.0) == 4.0
+    assert scheduler.now == 4.0
+
+
+def test_max_events_limit():
+    scheduler = EventScheduler()
+    fired = []
+    for i in range(10):
+        scheduler.schedule_at(float(i), lambda i=i: fired.append(i))
+    scheduler.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_cancelled_events_do_not_fire():
+    scheduler = EventScheduler()
+    fired = []
+    event = scheduler.schedule_at(1.0, lambda: fired.append("cancelled"))
+    scheduler.schedule_at(2.0, lambda: fired.append("kept"))
+    event.cancel()
+    scheduler.run()
+    assert fired == ["kept"]
+    assert scheduler.events_processed == 1
+
+
+def test_step_executes_single_event():
+    scheduler = EventScheduler()
+    fired = []
+    scheduler.schedule_at(1.0, lambda: fired.append(1))
+    scheduler.schedule_at(2.0, lambda: fired.append(2))
+    assert scheduler.step() is True
+    assert fired == [1]
+    assert scheduler.step() is True
+    assert scheduler.step() is False
+
+
+def test_events_scheduled_during_run_are_processed():
+    scheduler = EventScheduler()
+    fired = []
+
+    def chain(depth):
+        fired.append(depth)
+        if depth < 3:
+            scheduler.schedule_in(1.0, lambda: chain(depth + 1))
+
+    scheduler.schedule_at(0.0, lambda: chain(0))
+    scheduler.run()
+    assert fired == [0, 1, 2, 3]
+    assert scheduler.now == 3.0
+
+
+def test_reentrant_run_rejected():
+    scheduler = EventScheduler()
+    errors = []
+
+    def reenter():
+        try:
+            scheduler.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    scheduler.schedule_at(0.0, reenter)
+    scheduler.run()
+    assert len(errors) == 1

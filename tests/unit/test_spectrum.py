@@ -1,0 +1,52 @@
+"""Unit tests for power-spectrum estimation."""
+
+import numpy as np
+import pytest
+
+from repro.dft.spectrum import (
+    cross_correlation_at_zero_lag,
+    cross_power_spectrum,
+    periodogram,
+)
+from repro.errors import SummaryError
+
+
+def test_periodogram_is_real_nonnegative():
+    rng = np.random.default_rng(0)
+    spectrum = np.fft.fft(rng.normal(size=32))
+    power = periodogram(spectrum)
+    assert power.dtype == np.float64
+    assert (power >= 0).all()
+
+
+def test_periodogram_total_power_is_signal_energy():
+    rng = np.random.default_rng(1)
+    signal = rng.normal(size=64)
+    power = periodogram(np.fft.fft(signal))
+    assert power.sum() == pytest.approx(np.sum(signal**2))
+
+
+def test_cross_spectrum_of_identical_signals_is_periodogram():
+    rng = np.random.default_rng(2)
+    spectrum = np.fft.fft(rng.normal(size=16))
+    cross = cross_power_spectrum(spectrum, spectrum)
+    assert np.allclose(cross.real, periodogram(spectrum))
+    assert np.allclose(cross.imag, 0.0, atol=1e-12)
+
+
+def test_zero_lag_correlation_matches_time_domain():
+    rng = np.random.default_rng(3)
+    x = rng.normal(size=32)
+    y = rng.normal(size=32)
+    via_spectrum = cross_correlation_at_zero_lag(np.fft.fft(x), np.fft.fft(y))
+    assert via_spectrum == pytest.approx(float(np.dot(x, y)))
+
+
+def test_mismatched_sizes_rejected():
+    with pytest.raises(SummaryError):
+        cross_power_spectrum(np.ones(4, dtype=complex), np.ones(8, dtype=complex))
+
+
+def test_empty_rejected():
+    with pytest.raises(SummaryError):
+        periodogram(np.array([], dtype=complex))

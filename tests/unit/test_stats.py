@@ -1,0 +1,65 @@
+"""Unit tests for traffic accounting."""
+
+import pytest
+
+from repro.net.message import Message, MessageKind
+from repro.net.stats import TrafficStats
+
+
+def _msg(kind, entries=0):
+    return Message(kind=kind, source=0, destination=1, summary_entries=entries)
+
+
+def test_empty_stats():
+    stats = TrafficStats()
+    assert stats.total_messages == 0
+    assert stats.total_bytes == 0
+    assert stats.summary_overhead_fraction() == 0.0
+
+
+def test_record_splits_summary_and_net_bytes():
+    stats = TrafficStats()
+    message = _msg(MessageKind.TUPLE, entries=2)
+    stats.record(message)
+    assert stats.summary_bytes == message.summary_bytes()
+    assert stats.net_data_bytes == message.size_bytes() - message.summary_bytes()
+    assert stats.summary_entries == 2
+
+
+def test_overhead_fraction():
+    stats = TrafficStats()
+    for _ in range(10):
+        stats.record(_msg(MessageKind.TUPLE))
+    stats.record(_msg(MessageKind.SUMMARY, entries=1))
+    expected = stats.summary_bytes / stats.net_data_bytes
+    assert stats.summary_overhead_fraction() == pytest.approx(expected)
+    assert 0 < stats.summary_overhead_fraction() < 1
+
+
+def test_data_messages_counts_tuples_and_summaries():
+    stats = TrafficStats()
+    stats.record(_msg(MessageKind.TUPLE))
+    stats.record(_msg(MessageKind.SUMMARY, entries=1))
+    stats.record(_msg(MessageKind.CONTROL))
+    assert stats.data_messages() == 2
+    assert stats.messages(MessageKind.CONTROL) == 1
+
+
+def test_merge_folds_counters():
+    left, right = TrafficStats(), TrafficStats()
+    left.record(_msg(MessageKind.TUPLE, entries=1))
+    right.record(_msg(MessageKind.SUMMARY, entries=3))
+    left.merge(right)
+    assert left.total_messages == 2
+    assert left.summary_entries == 4
+
+
+def test_as_dict_round_trip():
+    stats = TrafficStats()
+    stats.record(_msg(MessageKind.TUPLE, entries=1))
+    snapshot = stats.as_dict()
+    assert snapshot["total_messages"] == 1
+    assert snapshot["summary_entries"] == 1
+    assert snapshot["summary_overhead_fraction"] == pytest.approx(
+        stats.summary_overhead_fraction()
+    )

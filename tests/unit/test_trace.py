@@ -1,0 +1,83 @@
+"""Unit tests for message tracing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.link import LinkSpec
+from repro.net.message import Message, MessageKind
+from repro.net.simulator import EventScheduler
+from repro.net.topology import Network
+from repro.net.trace import MessageTrace
+
+
+class Sink:
+    def on_message(self, message):
+        pass
+
+
+def traced_network(capacity=100):
+    scheduler = EventScheduler()
+    network = Network(scheduler, spec=LinkSpec(), rng=np.random.default_rng(1))
+    for node_id in (0, 1, 2):
+        network.register(node_id, Sink())
+    network.trace = MessageTrace(capacity=capacity)
+    return scheduler, network
+
+
+def test_capacity_validation():
+    with pytest.raises(ConfigurationError):
+        MessageTrace(capacity=0)
+
+
+def test_records_every_send():
+    _, network = traced_network()
+    for destination in (1, 2, 1):
+        network.send(Message(kind=MessageKind.TUPLE, source=0, destination=destination))
+    assert len(network.trace) == 3
+    records = list(network.trace)
+    assert [r.destination for r in records] == [1, 2, 1]
+    assert all(r.kind == "tuple" for r in records)
+
+
+def test_ring_buffer_drops_oldest():
+    _, network = traced_network(capacity=2)
+    for index in range(5):
+        network.send(Message(kind=MessageKind.TUPLE, source=0, destination=1))
+    assert len(network.trace) == 2
+    assert network.trace.dropped == 3
+    assert network.trace.total_recorded == 5
+
+
+def test_filtering():
+    _, network = traced_network()
+    network.send(Message(kind=MessageKind.TUPLE, source=0, destination=1))
+    network.send(Message(kind=MessageKind.SUMMARY, source=1, destination=2, summary_entries=3))
+    network.send(Message(kind=MessageKind.TUPLE, source=2, destination=0))
+    assert len(network.trace.filter(source=0)) == 1
+    assert len(network.trace.filter(kind=MessageKind.TUPLE)) == 2
+    assert len(network.trace.filter(destination=2, kind=MessageKind.SUMMARY)) == 1
+    assert network.trace.filter(source=9) == []
+
+
+def test_counts_by_kind_and_tail():
+    _, network = traced_network()
+    for _ in range(4):
+        network.send(Message(kind=MessageKind.TUPLE, source=0, destination=1))
+    network.send(Message(kind=MessageKind.RESULT, source=1, destination=0))
+    counts = network.trace.counts_by_kind()
+    assert counts["tuple"] == 4
+    assert counts["result"] == 1
+    assert len(network.trace.tail(2)) == 2
+    assert network.trace.tail(2)[-1].kind == "result"
+    with pytest.raises(ConfigurationError):
+        network.trace.tail(-1)
+
+
+def test_untraced_network_has_no_overhead_path():
+    scheduler = EventScheduler()
+    network = Network(scheduler, rng=np.random.default_rng(2))
+    network.register(0, Sink())
+    network.register(1, Sink())
+    network.send(Message(kind=MessageKind.TUPLE, source=0, destination=1))
+    assert network.trace is None

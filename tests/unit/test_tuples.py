@@ -1,0 +1,27 @@
+"""Unit tests for the stream tuple model."""
+
+from repro.streams.tuples import StreamId, StreamTuple
+
+
+def test_stream_other_is_involutive():
+    assert StreamId.R.other is StreamId.S
+    assert StreamId.S.other is StreamId.R
+    assert StreamId.R.other.other is StreamId.R
+
+
+def test_tuple_ids_are_unique():
+    tuples = [
+        StreamTuple(stream=StreamId.R, key=1, origin_node=0, arrival_index=i)
+        for i in range(50)
+    ]
+    assert len({t.tuple_id for t in tuples}) == 50
+
+
+def test_with_timestamp_preserves_identity():
+    original = StreamTuple(stream=StreamId.S, key=9, origin_node=2, arrival_index=7)
+    stamped = original.with_timestamp(3.5)
+    assert stamped.tuple_id == original.tuple_id
+    assert stamped.timestamp == 3.5
+    assert stamped.key == 9
+    assert stamped.stream is StreamId.S
+    assert original.timestamp is None  # frozen original untouched
