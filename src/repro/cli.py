@@ -69,6 +69,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--skew", type=float, default=0.85, help="geographic skew")
     parser.add_argument("--loss", type=float, default=0.0, help="message loss rate")
+    parser.add_argument(
+        "--fault-plan",
+        default="",
+        metavar="PLAN",
+        help="fault schedule: a JSON file, a spec file, or an inline spec "
+        "like 'partition@t=10s,d=5s' or 'crash@t=8,d=2,node=1;loss@t=12,d=3,p=0.4'",
+    )
+    parser.add_argument(
+        "--reliable",
+        action="store_true",
+        help="enable the control-plane ARQ, heartbeats, and graceful degradation",
+    )
+    parser.add_argument(
+        "--retransmit-timeout",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="initial ack deadline for reliable control messages (implies --reliable)",
+    )
+    parser.add_argument(
+        "--staleness-budget",
+        type=float,
+        default=-1.0,
+        metavar="SECONDS",
+        help="max tolerated summary age before degradation, 0 to disable "
+        "(implies --reliable)",
+    )
+    parser.add_argument(
+        "--degradation",
+        default="",
+        choices=["", "broadcast", "suppress"],
+        help="what to do with tuples for stale/suspected peers (implies --reliable)",
+    )
     parser.add_argument("--seed", type=int, default=0, help="random seed")
     parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
     parser.add_argument("--verbose", action="store_true", help="per-node diagnostics")
@@ -77,10 +110,40 @@ def build_parser() -> argparse.ArgumentParser:
 
 def config_from_args(args: argparse.Namespace) -> SystemConfig:
     """Translate parsed CLI arguments into a :class:`SystemConfig`."""
+    from repro.net.faults import FaultPlan, load_fault_plan
     from repro.net.link import LinkSpec
+    from repro.net.reliable import ReliabilitySettings
+    import dataclasses
     import math
 
+    from repro.errors import ConfigurationError
+
+    if args.retransmit_timeout < 0:
+        raise ConfigurationError("--retransmit-timeout must be positive")
     window_kind = WindowKind.TIME if args.window_seconds > 0 else WindowKind.COUNT
+    faults = (
+        load_fault_plan(args.fault_plan, args.nodes)
+        if args.fault_plan
+        else FaultPlan()
+    )
+    reliable = (
+        args.reliable
+        or args.retransmit_timeout > 0
+        or args.staleness_budget >= 0
+        or bool(args.degradation)
+    )
+    overrides = {"enabled": True}
+    if args.retransmit_timeout > 0:
+        overrides["retransmit_timeout_s"] = args.retransmit_timeout
+    if args.staleness_budget >= 0:
+        overrides["staleness_budget_s"] = args.staleness_budget
+    if args.degradation:
+        overrides["degradation_mode"] = args.degradation
+    reliability = (
+        dataclasses.replace(ReliabilitySettings(), **overrides)
+        if reliable
+        else ReliabilitySettings()
+    )
     return SystemConfig(
         num_nodes=args.nodes,
         window_size=args.window,
@@ -103,6 +166,8 @@ def config_from_args(args: argparse.Namespace) -> SystemConfig:
             bandwidth_bps=math.inf,
             loss_probability=args.loss,
         ),
+        reliability=reliability,
+        faults=faults,
         seed=args.seed,
     )
 
@@ -123,6 +188,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "metrics": result.summary(),
             "messages_by_kind": result.messages_by_kind,
         }
+        if result.reliability:
+            payload["reliability"] = result.reliability
+        if result.faults:
+            payload["faults"] = result.faults
         if args.verbose:
             payload["node_diagnostics"] = {
                 str(node): diag for node, diag in result.node_diagnostics.items()
@@ -142,6 +211,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print("throughput       %.1f results/s" % result.throughput)
     print("summary overhead %.2f%%" % (100 * result.summary_overhead_fraction))
     print("simulated time   %.1f s" % result.duration_seconds)
+    if result.faults:
+        print("messages lost    %d (%d to faults)" % (
+            result.messages_lost, int(result.faults.get("messages_blocked", 0))))
+    elif result.messages_lost:
+        print("messages lost    %d" % result.messages_lost)
+    if result.reliability:
+        print("retransmits      %d (%d delivery failures)" % (
+            result.retransmits, int(result.reliability.get("delivery_failures", 0))))
+        print("failures seen    %d (%d recoveries)" % (
+            result.failures_detected, int(result.reliability.get("recoveries", 0))))
     if args.verbose:
         for node, diagnostics in sorted(result.node_diagnostics.items()):
             print("node %d:" % node)

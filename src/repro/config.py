@@ -24,7 +24,9 @@ from typing import Dict, Optional
 from repro.core.correlation import SimilarityMeasure
 from repro.core.flow import FlowSettings
 from repro.errors import ConfigurationError
+from repro.net.faults import FaultPlan
 from repro.net.link import LinkSpec
+from repro.net.reliable import ReliabilitySettings
 
 
 class Algorithm(enum.Enum):
@@ -205,6 +207,13 @@ class SystemConfig:
     window (Section 2's "until a specific tuple is observed").  The window
     is additionally capped at window_size tuples between landmarks."""
 
+    reliability: ReliabilitySettings = field(default_factory=ReliabilitySettings)
+    """Control-plane ARQ + failure detector (disabled by default: the
+    paper's wire protocol, bit-for-bit)."""
+
+    faults: FaultPlan = field(default_factory=FaultPlan)
+    """Deterministic fault schedule (empty by default: a healthy WAN)."""
+
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -245,6 +254,8 @@ class SystemConfig:
         self.policy.validate()
         self.workload.validate()
         self.link.validate()
+        self.reliability.validate()
+        self.faults.validate(self.num_nodes)
 
     @property
     def effective_shadow_window(self) -> int:
@@ -270,5 +281,7 @@ class SystemConfig:
             "arrival_rate": self.workload.arrival_rate,
             "skew": self.workload.skew,
             "spread": self.workload.spread,
+            "reliability_enabled": self.reliability.enabled,
+            "fault_events": len(self.faults.events),
             "seed": self.seed,
         }

@@ -25,6 +25,18 @@ from typing import Dict, Mapping
 from repro.errors import ConfigurationError
 
 
+def waterfill_cutoff(scale: float) -> float:
+    """Smallest similarity the water-filling solver treats as positive.
+
+    Two regimes make a value numerically zero: vanishingly small relative
+    to the best peer (saturating it would dominate the bisection range),
+    and below the smallest *normal* float -- ``scale * 1e-12`` underflows
+    to 0.0 against denormals, and the weight needed to saturate such a
+    value (1/value) overflows, driving the solver to infinity.
+    """
+    return max(scale * 1e-12, 2.2250738585072014e-308)
+
+
 @dataclass(frozen=True)
 class FlowSettings:
     """Budget and detection knobs for one node's flow controller."""
@@ -148,11 +160,17 @@ class FlowController:
         # Similarities vanishingly small relative to the best peer are
         # numerically zero for water-filling (saturating them would need a
         # weight beyond float range).
-        cutoff = scale * 1e-12
+        cutoff = waterfill_cutoff(scale)
         floored = {
             peer: (value if value >= cutoff else 0.0)
             for peer, value in floored.items()
         }
+        if all(value == 0.0 for value in floored.values()):
+            # Every peer was below the cutoff (all-denormal input): the
+            # degenerate uniform spread, same as scale <= 0.
+            uniform = target / len(floored)
+            self.last_weight = 0.0
+            return {peer: min(1.0, uniform) for peer in floored}
         weight = self._solve_weight(floored, target)
         self.last_weight = weight
         if math.isinf(weight):

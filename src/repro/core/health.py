@@ -1,0 +1,137 @@
+"""Peer health: failure detection, staleness tracking, recovery latency.
+
+The filtering policies are only as good as the summaries they filter on.
+:class:`PeerHealthMonitor` gives each node two independent, per-peer
+signals the runtime uses to degrade gracefully (see
+:meth:`repro.core.node.JoinProcessingNode._apply_degradation`):
+
+* **liveness** -- a heartbeat-fed, timeout-based failure detector in the
+  style of eventually-perfect detectors: silence beyond
+  ``suspect_timeout_s`` marks a peer *suspected*; the first message of
+  any kind clears the suspicion and records the recovery latency.
+  Detection is evaluated lazily at forwarding decisions rather than with
+  dedicated timer events, so an idle mesh schedules nothing extra.
+* **summary staleness** -- the age of the freshest summary update applied
+  from the peer.  Past ``staleness_budget_s`` the peer's summary is no
+  longer trusted for filtering, even if the peer is demonstrably alive
+  (the gray-failure case: the link drops summaries but heartbeats slip
+  through).
+
+The monitor also keeps a small fixed-bucket histogram of the staleness
+observed at each forwarding decision, which ends up in the run result --
+the distribution, not just the worst case, is what tells you whether the
+control loop kept up.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.net.reliable import ReliabilitySettings
+
+STALENESS_BUCKETS_S: Tuple[float, ...] = (0.5, 1.0, 2.0, 5.0, 10.0)
+"""Upper edges of the staleness histogram buckets (the last bucket is
+open-ended)."""
+
+
+class PeerHealthMonitor:
+    """Per-peer liveness and summary-freshness state for one node."""
+
+    def __init__(
+        self,
+        node_id: int,
+        peer_ids: Tuple[int, ...],
+        settings: ReliabilitySettings,
+        on_recovery: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.peer_ids = tuple(peer_ids)
+        self.settings = settings
+        self._on_recovery = on_recovery
+        self._last_heard: Dict[int, float] = {peer: 0.0 for peer in self.peer_ids}
+        self._last_summary: Dict[int, float] = {peer: 0.0 for peer in self.peer_ids}
+        self._suspected_at: Dict[int, float] = {}
+        self.failures_detected = 0
+        self.recoveries = 0
+        self.recovery_latencies: List[float] = []
+        self.staleness_histogram: List[int] = [0] * (len(STALENESS_BUCKETS_S) + 1)
+
+    # ------------------------------------------------------------------
+    # signal ingestion
+    # ------------------------------------------------------------------
+
+    def heard(self, peer: int, now: float) -> None:
+        """Any message from ``peer`` arrived (tuple, summary, ack, heartbeat)."""
+        if peer not in self._last_heard:
+            return
+        self._last_heard[peer] = now
+        suspected_at = self._suspected_at.pop(peer, None)
+        if suspected_at is not None:
+            self.recoveries += 1
+            self.recovery_latencies.append(now - suspected_at)
+            # Give the peer a staleness grace period: a resync is on its
+            # way (triggered below), and judging the peer stale the very
+            # tick it came back would flap the degradation state.
+            self._last_summary[peer] = now
+            if self._on_recovery is not None:
+                self._on_recovery(peer)
+
+    def summary_received(self, peer: int, now: float) -> None:
+        """A summary update from ``peer`` was applied."""
+        if peer in self._last_summary:
+            self._last_summary[peer] = now
+
+    # ------------------------------------------------------------------
+    # queries (evaluated lazily; `heard` clears suspicion)
+    # ------------------------------------------------------------------
+
+    def is_suspected(self, peer: int, now: float) -> bool:
+        """Whether ``peer`` has been silent beyond the suspect timeout."""
+        if peer in self._suspected_at:
+            return True
+        if now - self._last_heard[peer] > self.settings.suspect_timeout_s:
+            self._suspected_at[peer] = now
+            self.failures_detected += 1
+            return True
+        return False
+
+    def staleness(self, peer: int, now: float) -> float:
+        """Age of the freshest summary applied from ``peer``."""
+        return now - self._last_summary[peer]
+
+    def is_stale(self, peer: int, now: float) -> bool:
+        """Whether ``peer``'s summary is older than the staleness budget."""
+        budget = self.settings.staleness_budget_s
+        if budget <= 0:
+            return False
+        return self.staleness(peer, now) > budget
+
+    def observe_staleness(self, peer: int, now: float) -> None:
+        """Record one forwarding decision's view of ``peer``'s staleness."""
+        age = self.staleness(peer, now)
+        for index, edge in enumerate(STALENESS_BUCKETS_S):
+            if age <= edge:
+                self.staleness_histogram[index] += 1
+                return
+        self.staleness_histogram[-1] += 1
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def counters(self) -> Dict[str, float]:
+        counters: Dict[str, float] = {
+            "failures_detected": float(self.failures_detected),
+            "recoveries": float(self.recoveries),
+        }
+        if self.recovery_latencies:
+            counters["recovery_latency_mean_s"] = sum(self.recovery_latencies) / len(
+                self.recovery_latencies
+            )
+            counters["recovery_latency_max_s"] = max(self.recovery_latencies)
+        previous_edge = 0.0
+        for index, edge in enumerate(STALENESS_BUCKETS_S):
+            counters["staleness_le_%gs" % edge] = float(self.staleness_histogram[index])
+            previous_edge = edge
+        counters["staleness_gt_%gs" % previous_edge] = float(self.staleness_histogram[-1])
+        return counters

@@ -26,12 +26,14 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.config import SystemConfig, WindowKind
+from repro.core.health import PeerHealthMonitor
 from repro.core.policies.base import ForwardingPolicy
 from repro.errors import ConfigurationError
 from repro.join.ground_truth import GroundTruthOracle
 from repro.join.hash_join import JoinResult, SymmetricHashJoin
 from repro.metrics.accounting import ResultCollector
 from repro.net.message import Message, MessageKind
+from repro.net.reliable import ReliableTransport
 from repro.net.simulator import EventScheduler
 from repro.net.topology import Network
 from repro.streams.tuples import StreamId, StreamTuple
@@ -69,6 +71,8 @@ class JoinProcessingNode:
         policy: ForwardingPolicy,
         oracle: GroundTruthOracle,
         collector: ResultCollector,
+        transport: Optional[ReliableTransport] = None,
+        fault_injector=None,
     ) -> None:
         self.node_id = node_id
         self.config = config
@@ -86,6 +90,20 @@ class JoinProcessingNode:
         self.standalone_summaries_sent = 0
         self.max_queue_depth = 0
         self.busy_seconds = 0.0
+        self.transport = transport
+        """Reliable control-plane endpoint; ``None`` runs the paper's
+        pure best-effort wire protocol (the default)."""
+        self.fault_injector = fault_injector
+        self.health: Optional[PeerHealthMonitor] = None
+        self.local_arrivals_dropped = 0
+        self.forced_broadcast_sends = 0
+        self.suppressed_sends = 0
+        self.resyncs = 0
+        if transport is not None:
+            peers = tuple(p for p in range(config.num_nodes) if p != node_id)
+            self.health = PeerHealthMonitor(
+                node_id, peers, transport.settings, on_recovery=self._on_peer_recovered
+            )
 
     # ------------------------------------------------------------------
     # query management
@@ -149,10 +167,36 @@ class JoinProcessingNode:
 
     def on_local_arrival(self, item: StreamTuple) -> None:
         """A tuple of this node's own stream segment arrived."""
+        if self.fault_injector is not None and self.fault_injector.node_down(
+            self.node_id
+        ):
+            # A crashed site loses its local arrivals outright; the oracle
+            # never observes them either, so truth and report stay
+            # comparable -- the crash costs coverage, not correctness.
+            self.local_arrivals_dropped += 1
+            return
         self._enqueue(("local", item))
 
     def on_message(self, message: Message) -> None:
-        """Network delivery callback."""
+        """Network delivery callback.
+
+        With the reliable transport enabled this is also the demux point:
+        ACKs cancel retransmit timers, heartbeats only feed the failure
+        detector, and sequenced control messages pass through the ARQ
+        receiver (which may release zero or several messages in order).
+        """
+        if self.health is not None:
+            self.health.heard(message.source, self.scheduler.now)
+        if self.transport is not None:
+            if message.kind is MessageKind.ACK:
+                self.transport.on_ack(message)
+                return
+            if message.kind is MessageKind.HEARTBEAT:
+                return
+            if message.seq is not None:
+                for released in self.transport.on_receive(message):
+                    self._enqueue(("message", released))
+                return
         self._enqueue(("message", message))
 
     def _enqueue(self, work: Tuple[str, object]) -> None:
@@ -244,6 +288,7 @@ class JoinProcessingNode:
         runtime.policy.on_local_insert(item, evicted)
         runtime.policy.observe_congestion(len(self._queue))
         destinations = runtime.policy.choose_destinations(item)
+        destinations = self._apply_degradation(runtime, destinations, now)
 
         transmission_seconds = result_pause
         for destination in destinations:
@@ -252,6 +297,68 @@ class JoinProcessingNode:
 
         self.tuples_processed += 1
         return self.config.cpu_seconds_per_tuple + transmission_seconds
+
+    def _apply_degradation(
+        self, runtime: QueryRuntime, destinations: List[int], now: float
+    ) -> List[int]:
+        """Adjust a forwarding decision for peers that cannot be trusted.
+
+        Peers whose summaries aged past the staleness budget are handled
+        per ``degradation_mode``: "broadcast" forces a copy to them
+        (BASE-style -- their summary can no longer rule matches out, so
+        recall is preserved at message cost), "suppress" drops the flow
+        toward them.  Suspected-dead peers are always suppressed: their
+        copies would be dropped at delivery anyway, and the uplink pause
+        they cost is real.
+        """
+        if self.health is None:
+            return destinations
+        chosen = set(destinations)
+        for peer in runtime.policy.peer_ids:
+            self.health.observe_staleness(peer, now)
+            if self.health.is_suspected(peer, now):
+                if peer in chosen:
+                    chosen.discard(peer)
+                    self.suppressed_sends += 1
+                continue
+            if not self.health.is_stale(peer, now):
+                continue
+            if self.health.settings.degradation_mode == "broadcast":
+                if peer not in chosen:
+                    chosen.add(peer)
+                    self.forced_broadcast_sends += 1
+            elif peer in chosen:
+                chosen.discard(peer)
+                self.suppressed_sends += 1
+        return sorted(chosen)
+
+    def _on_peer_recovered(self, peer: int) -> None:
+        """A suspected peer spoke again: queue it full-state summaries."""
+        self.resyncs += 1
+        for query_id in sorted(self._queries):
+            self._queries[query_id].policy.resync_peer(peer)
+
+    def send_heartbeats(self) -> None:
+        """Emit one best-effort HEARTBEAT probe to every peer.
+
+        Scheduled by the system at the configured interval; header-only
+        messages that bypass the service queue (out-of-band liveness
+        probes, not workload).  A crashed node stays silent.
+        """
+        if self.health is None:
+            return
+        if self.fault_injector is not None and self.fault_injector.node_down(
+            self.node_id
+        ):
+            return
+        for peer in self.health.peer_ids:
+            self.network.send(
+                Message(
+                    kind=MessageKind.HEARTBEAT,
+                    source=self.node_id,
+                    destination=peer,
+                )
+            )
 
     def _probe_shadow(
         self, runtime: QueryRuntime, item: StreamTuple, now: float
@@ -348,7 +455,14 @@ class JoinProcessingNode:
                 payload=(0, None, updates),
                 summary_entries=sum(update.entries for _, update in updates),
             )
-            self.network.send(message)
+            if self.transport is not None:
+                # Standalone summaries are pure control traffic: a lost one
+                # starves the peer until the next flush, so they ride the
+                # reliable channel.  (Piggy-backed copies stay best-effort;
+                # version guards already handle their loss.)
+                self.transport.send(message)
+            else:
+                self.network.send(message)
             self._last_contact[peer] = now
             self.standalone_summaries_sent += 1
             pause += self._pause_seconds(message)
@@ -378,6 +492,8 @@ class JoinProcessingNode:
             self._queries[update_query_id].policy.on_remote_summary(
                 message.source, update
             )
+        if updates and self.health is not None:
+            self.health.summary_received(message.source, now)
         if item is None:
             return self.config.cpu_seconds_per_probe
         runtime = self._queries[item.query_id]
@@ -409,4 +525,15 @@ class JoinProcessingNode:
         for runtime in self._queries.values():
             for key, value in runtime.policy.diagnostics().items():
                 counters[key] = counters.get(key, 0.0) + value
+        if self.fault_injector is not None:
+            counters["local_arrivals_dropped"] = float(self.local_arrivals_dropped)
+        if self.transport is not None:
+            for key, value in self.transport.counters().items():
+                counters["reliable_" + key] = value
+        if self.health is not None:
+            for key, value in self.health.counters().items():
+                counters[key] = value
+            counters["forced_broadcast_sends"] = float(self.forced_broadcast_sends)
+            counters["suppressed_sends"] = float(self.suppressed_sends)
+            counters["resyncs"] = float(self.resyncs)
         return counters

@@ -107,6 +107,13 @@ class ForwardingPolicy(abc.ABC):
     def on_remote_summary(self, source: int, update: SummaryUpdate) -> None:
         """A peer's summary update arrived (default: ignored)."""
 
+    def resync_peer(self, peer: int) -> None:
+        """Queue a full-state summary for a peer recovering from a fault.
+
+        Policies that disseminate summaries override this; BASE and
+        round-robin keep no remote state, so recovery needs nothing.
+        """
+
     def diagnostics(self) -> Dict[str, float]:
         """Policy-specific counters for result reporting."""
         return {

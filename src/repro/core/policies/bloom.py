@@ -135,6 +135,13 @@ class BloomPolicy(ForwardingPolicy):
     ) -> Optional[CountingBloomFilter]:
         return self._remote_filters.get((peer, stream))
 
+    def resync_peer(self, peer: int) -> None:
+        """Queue fresh filter snapshots for a recovering peer (snapshots
+        already replace remote state wholesale, so recovery is just an
+        out-of-cadence refresh aimed at one peer)."""
+        for stream in (StreamId.R, StreamId.S):
+            self.outbox.queue_for(peer, self.managers[stream].snapshot_update())
+
     # ------------------------------------------------------------------
     # forwarding decision
     # ------------------------------------------------------------------

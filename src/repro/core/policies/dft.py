@@ -89,6 +89,18 @@ class DftPolicy(ForwardingPolicy):
         self._cached_similarities.clear()
         self._arrivals_since_probability_refresh = 0
 
+    def resync_peer(self, peer: int) -> None:
+        """Queue full coefficient snapshots for a recovering peer.
+
+        The peer missed an unknown number of deltas while unreachable;
+        merging further deltas over its stale map would leave phantom
+        coefficients, so it gets the complete current state instead.
+        """
+        for stream in (StreamId.R, StreamId.S):
+            update = self.managers[stream].resync_update()
+            if update is not None:
+                self.outbox.queue_for(peer, update)
+
     def observe_congestion(self, queue_depth: int) -> None:
         previous = self.congestion_scale
         super().observe_congestion(queue_depth)

@@ -148,6 +148,11 @@ class SketchPolicy(ForwardingPolicy):
     def remote_sketch(self, peer: int, stream: StreamId) -> Optional[AgmsSketch]:
         return self._remote_sketches.get((peer, stream))
 
+    def resync_peer(self, peer: int) -> None:
+        """Queue fresh counter snapshots for a recovering peer."""
+        for stream in (StreamId.R, StreamId.S):
+            self.outbox.queue_for(peer, self.managers[stream].snapshot_update())
+
     # ------------------------------------------------------------------
     # join-size-weighted flow factors
     # ------------------------------------------------------------------

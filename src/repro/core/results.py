@@ -34,6 +34,15 @@ class RunResult:
     """Result-latency summary (count/mean/p50/p95/max): simulated seconds
     from a pair's completion (later member's arrival) to its report."""
 
+    reliability: Dict[str, float] = field(default_factory=dict)
+    """System-wide reliable-transport and failure-detector counters
+    (retransmits, delivery failures, detected failures, recovery latency,
+    staleness histogram).  Empty when the reliability layer is disabled."""
+
+    faults: Dict[str, float] = field(default_factory=dict)
+    """Fault-injection summary (events, messages blocked, activations per
+    kind).  Empty when the run had no fault plan."""
+
     @property
     def epsilon(self) -> float:
         """Equation 1's error."""
@@ -71,6 +80,21 @@ class RunResult:
     def summary_overhead_fraction(self) -> float:
         """Figure 8's y-axis: summary bytes over net-data bytes."""
         return float(self.traffic.get("summary_overhead_fraction", 0.0))
+
+    @property
+    def messages_lost(self) -> int:
+        """Messages dropped in transit (lossy links + injected faults)."""
+        return int(self.traffic.get("messages_lost", 0))
+
+    @property
+    def retransmits(self) -> int:
+        """Reliable-channel retransmissions across all nodes."""
+        return int(self.reliability.get("retransmits", 0))
+
+    @property
+    def failures_detected(self) -> int:
+        """Peer-failure suspicions raised across all nodes."""
+        return int(self.reliability.get("failures_detected", 0))
 
     def summary(self) -> Dict[str, float]:
         """The headline metrics as one flat dictionary."""

@@ -202,6 +202,29 @@ class DftSummaryManager:
         """The node's own current coefficient map (for similarity calc)."""
         return self.dft.coefficient_map()
 
+    def resync_update(self) -> Optional[SummaryUpdate]:
+        """A full-state snapshot for one recovering peer.
+
+        Deltas assume the receiver saw every earlier broadcast; a peer
+        that was down (or partitioned away) did not, so recovery ships
+        the complete coefficient map with ``full_state=True`` to replace
+        whatever stale merge the peer holds.  ``None`` when the window is
+        still empty (nothing to resynchronize)."""
+        current = self.dft.coefficient_map()
+        if not current:
+            return None
+        self._last_broadcast.update(current)
+        self._version += 1
+        return SummaryUpdate(
+            algorithm=self.ALGORITHM,
+            stream=self.stream,
+            version=self._version,
+            window_size=self.window_size,
+            entries=len(current),
+            payload=current,
+            full_state=True,
+        )
+
 
 class SnapshotSummaryManager:
     """Snapshot-style broadcasting shared by the Bloom and sketch baselines.
@@ -242,8 +265,18 @@ class SnapshotSummaryManager:
         return self.refresh()
 
     def refresh(self) -> SummaryUpdate:
+        update = self.snapshot_update()
+        self.outbox.broadcast(update)
+        self.broadcasts += 1
+        return update
+
+    def snapshot_update(self) -> SummaryUpdate:
+        """Build (but do not queue) a fresh full-state snapshot.
+
+        ``refresh`` broadcasts it to everyone; peer recovery instead
+        queues it for the one peer that needs resynchronizing."""
         self._version += 1
-        update = SummaryUpdate(
+        return SummaryUpdate(
             algorithm=self.algorithm,
             stream=self.stream,
             version=self._version,
@@ -252,9 +285,6 @@ class SnapshotSummaryManager:
             payload=self._snapshot_fn(),
             full_state=True,
         )
-        self.outbox.broadcast(update)
-        self.broadcasts += 1
-        return update
 
 
 def _materially_different(previous: complex, current: complex, tolerance: float) -> bool:

@@ -24,6 +24,8 @@ from repro.core.results import RunResult
 from repro.errors import ConfigurationError
 from repro.join.ground_truth import GroundTruthOracle
 from repro.metrics.accounting import ResultCollector
+from repro.net.faults import FaultInjector
+from repro.net.reliable import ReliableTransport
 from repro.net.simulator import EventScheduler
 from repro.net.topology import Network
 from repro.streams.financial import FinancialStreamConfig, financial_stream
@@ -86,8 +88,23 @@ class DistributedJoinSystem:
             policy_parent_rng,
             self._schedule_rng,
         ) = spawn(root_rng, 6)
+        # Extra generators are spawned only when their feature is on:
+        # SeedSequence children are positional, so the six above stay
+        # identical either way and a disabled feature causes zero drift.
+        transport_rngs = (
+            spawn(root_rng, config.num_nodes) if config.reliability.enabled else []
+        )
         self.scheduler = EventScheduler()
-        self.network = Network(self.scheduler, spec=config.link, rng=self._network_rng)
+        self.fault_injector: Optional[FaultInjector] = None
+        if not config.faults.empty:
+            self.fault_injector = FaultInjector(config.faults, config.num_nodes)
+            self.fault_injector.install(self.scheduler)
+        self.network = Network(
+            self.scheduler,
+            spec=config.link,
+            rng=self._network_rng,
+            fault_injector=self.fault_injector,
+        )
         self.oracles: List[GroundTruthOracle] = [
             GroundTruthOracle() for _ in range(config.num_queries)
         ]
@@ -124,6 +141,15 @@ class DistributedJoinSystem:
                 )
                 policy = make_policy(context, shared_states[query_id])
                 if node is None:
+                    transport = None
+                    if config.reliability.enabled:
+                        transport = ReliableTransport(
+                            node_id=node_id,
+                            scheduler=self.scheduler,
+                            send_fn=self.network.send,
+                            settings=config.reliability,
+                            rng=transport_rngs[node_id],
+                        )
                     node = JoinProcessingNode(
                         node_id=node_id,
                         config=config,
@@ -132,6 +158,8 @@ class DistributedJoinSystem:
                         policy=policy,
                         oracle=self.oracles[query_id],
                         collector=self.collectors[query_id],
+                        transport=transport,
+                        fault_injector=self.fault_injector,
                     )
                 else:
                     node.add_query(
@@ -170,15 +198,18 @@ class DistributedJoinSystem:
         """
         from repro.net.message import Message, MessageKind
 
+        origin = self.nodes[0]
         for destination in range(1, self.config.num_nodes):
-            self.network.send(
-                Message(
-                    kind=MessageKind.CONTROL,
-                    source=0,
-                    destination=destination,
-                    payload=(0, None, []),
-                )
+            message = Message(
+                kind=MessageKind.CONTROL,
+                source=0,
+                destination=destination,
+                payload=(0, None, []),
             )
+            if origin.transport is not None:
+                origin.transport.send(message)
+            else:
+                self.network.send(message)
 
     def schedule_workload(self) -> None:
         """Create every arrival event up front (Poisson arrivals, fair
@@ -225,6 +256,28 @@ class DistributedJoinSystem:
             last_time = max(last_time, float(times[-1]))
         self._tuples_scheduled = workload.total_tuples
         self._arrival_span = last_time
+        self._schedule_heartbeats()
+
+    def _schedule_heartbeats(self) -> None:
+        """Pre-schedule every heartbeat tick over the run's span.
+
+        The ticks run from one interval past zero to one suspect-timeout
+        past the last arrival (so peers that crashed near the end still
+        get detected), and are *not* self-rescheduling -- a fixed, finite
+        event set keeps the scheduler's run-to-drain termination intact.
+        """
+        settings = self.config.reliability
+        if not settings.enabled:
+            return
+        horizon = self._arrival_span + settings.suspect_timeout_s
+        tick = settings.heartbeat_interval_s
+        count = int(horizon / tick) + 1
+        for index in range(1, count + 1):
+            when = index * tick
+            for node in self.nodes:
+                self.scheduler.schedule_at(
+                    when, lambda n=node: n.send_heartbeats()
+                )
 
     # ------------------------------------------------------------------
     # execution
@@ -265,6 +318,38 @@ class DistributedJoinSystem:
         merged_latency = LatencyTracker()
         for collector in self.collectors:
             merged_latency.merge(collector.latency)
+        reliability: Dict[str, float] = {}
+        if self.config.reliability.enabled:
+            for node in self.nodes:
+                for key, value in node.transport.counters().items():
+                    reliability[key] = reliability.get(key, 0.0) + value
+                for key, value in node.health.counters().items():
+                    if key.endswith("_max_s"):
+                        reliability[key] = max(reliability.get(key, 0.0), value)
+                    elif key.endswith("_mean_s"):
+                        # Averaged over nodes that measured any recoveries.
+                        reliability.setdefault("_mean_samples", 0.0)
+                        reliability["_mean_samples"] += 1.0
+                        reliability[key] = reliability.get(key, 0.0) + value
+                    else:
+                        reliability[key] = reliability.get(key, 0.0) + value
+                reliability["forced_broadcast_sends"] = (
+                    reliability.get("forced_broadcast_sends", 0.0)
+                    + node.forced_broadcast_sends
+                )
+                reliability["suppressed_sends"] = (
+                    reliability.get("suppressed_sends", 0.0) + node.suppressed_sends
+                )
+                reliability["resyncs"] = reliability.get("resyncs", 0.0) + node.resyncs
+            samples = reliability.pop("_mean_samples", 0.0)
+            if samples and "recovery_latency_mean_s" in reliability:
+                reliability["recovery_latency_mean_s"] /= samples
+        faults: Dict[str, float] = {}
+        if self.fault_injector is not None:
+            faults = self.fault_injector.summary()
+            faults["local_arrivals_dropped"] = float(
+                sum(node.local_arrivals_dropped for node in self.nodes)
+            )
         return RunResult(
             config=self.config.as_dict(),
             truth_pairs=sum(o.total_result_pairs for o in self.oracles),
@@ -283,6 +368,8 @@ class DistributedJoinSystem:
             sustained_throughput=sustained,
             per_query=per_query,
             latency=merged_latency.snapshot(),
+            reliability=reliability,
+            faults=faults,
         )
 
 

@@ -41,6 +41,8 @@ def result_to_dict(result: RunResult) -> dict:
         "sustained_throughput": result.sustained_throughput,
         "per_query": result.per_query,
         "latency": result.latency,
+        "reliability": {k: float(v) for k, v in result.reliability.items()},
+        "faults": {k: float(v) for k, v in result.faults.items()},
     }
 
 
@@ -71,6 +73,8 @@ def result_from_dict(payload: dict) -> RunResult:
         sustained_throughput=float(payload["sustained_throughput"]),
         per_query=payload.get("per_query", []),
         latency=payload.get("latency", {}),
+        reliability=payload.get("reliability", {}),
+        faults=payload.get("faults", {}),
     )
 
 

@@ -14,8 +14,21 @@ simulator with the same model:
   registered endpoints.
 * :class:`~repro.net.stats.TrafficStats` -- per-category byte/message
   counters (Figure 8 overhead accounting).
+* :class:`~repro.net.faults.FaultInjector` -- deterministic link/node
+  fault schedules (outages, partitions, loss bursts, latency spikes,
+  crashes) for robustness experiments.
+* :class:`~repro.net.reliable.ReliableTransport` -- optional control-plane
+  ARQ (sequence numbers, acks, retransmission with backoff) over the
+  best-effort links.
 """
 
+from repro.net.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    load_fault_plan,
+)
 from repro.net.link import Link, LinkSpec
 from repro.net.message import (
     Message,
@@ -23,6 +36,7 @@ from repro.net.message import (
     SUMMARY_COEFFICIENT_BYTES,
     TUPLE_PAYLOAD_BYTES,
 )
+from repro.net.reliable import ReliabilitySettings, ReliableChannel, ReliableTransport
 from repro.net.simulator import Event, EventScheduler
 from repro.net.stats import TrafficStats
 from repro.net.topology import Endpoint, Network
@@ -37,6 +51,14 @@ __all__ = [
     "Network",
     "Endpoint",
     "TrafficStats",
+    "FaultKind",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "load_fault_plan",
+    "ReliabilitySettings",
+    "ReliableChannel",
+    "ReliableTransport",
     "SUMMARY_COEFFICIENT_BYTES",
     "TUPLE_PAYLOAD_BYTES",
 ]

@@ -1,0 +1,431 @@
+"""Deterministic fault injection for the simulated WAN.
+
+The paper's protocols are evaluated on an emulated WAN whose links are
+*reliable*; real 20-100 ms / 90 kbps paths are not.  This module injects
+the classic WAN fault classes against the :class:`~repro.net.simulator.
+EventScheduler` so the control loop's robustness can be measured:
+
+* **loss burst** -- extra per-message drop probability on selected links;
+* **link outage** -- selected directed links black-hole everything;
+* **partition** -- a node group is cut off from the rest (both ways);
+* **latency spike** -- extra propagation delay (a gray failure);
+* **node crash/restart** -- a node goes dark: its local arrivals are
+  discarded and messages to or from it are dropped until it restarts.
+
+A :class:`FaultPlan` is a static, validated set of :class:`FaultEvent`
+windows -- pure data, no randomness -- so an identical seed plus an
+identical plan reproduces a run bit-for-bit.  The :class:`FaultInjector`
+schedules the activation/deactivation edges and answers point queries
+from :class:`~repro.net.link.Link` and the node runtime.
+
+Plans can be written inline, loaded from JSON, or spelled as compact
+preset specs (``partition@t=10s,d=5s``); see :meth:`FaultPlan.parse`.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.net.simulator import EventScheduler
+
+
+class FaultKind(enum.Enum):
+    """The injectable fault classes."""
+
+    LOSS_BURST = "loss_burst"
+    LINK_OUTAGE = "link_outage"
+    PARTITION = "partition"
+    LATENCY_SPIKE = "latency_spike"
+    NODE_CRASH = "node_crash"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault window: a kind active on ``[start_s, start_s + duration_s)``.
+
+    ``nodes`` selects crash targets (NODE_CRASH) or one side of the cut
+    (PARTITION); ``links`` selects directed links (LINK_OUTAGE, and
+    optionally LOSS_BURST / LATENCY_SPIKE -- empty means every link).
+    """
+
+    kind: FaultKind
+    start_s: float
+    duration_s: float
+    nodes: Tuple[int, ...] = ()
+    links: Tuple[Tuple[int, int], ...] = ()
+    loss_probability: float = 0.0
+    extra_latency_s: float = 0.0
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+    def validate(self, num_nodes: Optional[int] = None) -> None:
+        if self.start_s < 0:
+            raise ConfigurationError("fault start_s must be non-negative")
+        if self.duration_s <= 0:
+            raise ConfigurationError("fault duration_s must be positive")
+        if self.kind is FaultKind.NODE_CRASH and not self.nodes:
+            raise ConfigurationError("NODE_CRASH requires at least one node")
+        if self.kind is FaultKind.PARTITION and not self.nodes:
+            raise ConfigurationError("PARTITION requires a non-empty node group")
+        if self.kind is FaultKind.LINK_OUTAGE and not self.links:
+            raise ConfigurationError("LINK_OUTAGE requires at least one link")
+        if self.kind is FaultKind.LOSS_BURST and not (
+            0.0 < self.loss_probability <= 1.0
+        ):
+            raise ConfigurationError("LOSS_BURST requires loss_probability in (0, 1]")
+        if self.kind is FaultKind.LATENCY_SPIKE and self.extra_latency_s <= 0:
+            raise ConfigurationError("LATENCY_SPIKE requires extra_latency_s > 0")
+        for source, destination in self.links:
+            if source == destination:
+                raise ConfigurationError("fault link %d->%d is a self-loop" % (source, destination))
+        if num_nodes is not None:
+            for node in self.nodes:
+                if not 0 <= node < num_nodes:
+                    raise ConfigurationError(
+                        "fault references node %d outside [0, %d)" % (node, num_nodes)
+                    )
+            for source, destination in self.links:
+                if not (0 <= source < num_nodes and 0 <= destination < num_nodes):
+                    raise ConfigurationError(
+                        "fault references link %d->%d outside [0, %d)"
+                        % (source, destination, num_nodes)
+                    )
+            if self.kind is FaultKind.PARTITION and len(set(self.nodes)) >= num_nodes:
+                raise ConfigurationError(
+                    "PARTITION group must leave at least one node on the other side"
+                )
+
+    def affects_link(self, source: int, destination: int) -> bool:
+        """Whether this event's link selector covers ``source -> destination``."""
+        if self.kind is FaultKind.PARTITION:
+            return (source in self.nodes) != (destination in self.nodes)
+        if self.kind is FaultKind.NODE_CRASH:
+            return source in self.nodes or destination in self.nodes
+        if not self.links:
+            return True
+        return (source, destination) in self.links
+
+    def as_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "kind": self.kind.value,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+        }
+        if self.nodes:
+            payload["nodes"] = list(self.nodes)
+        if self.links:
+            payload["links"] = [list(pair) for pair in self.links]
+        if self.loss_probability:
+            payload["loss_probability"] = self.loss_probability
+        if self.extra_latency_s:
+            payload["extra_latency_s"] = self.extra_latency_s
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FaultEvent":
+        try:
+            kind = FaultKind(payload["kind"])
+        except (KeyError, ValueError) as error:
+            raise ConfigurationError("fault event needs a valid 'kind': %s" % error)
+        try:
+            event = cls(
+                kind=kind,
+                start_s=float(payload["start_s"]),
+                duration_s=float(payload["duration_s"]),
+                nodes=tuple(int(n) for n in payload.get("nodes", ())),
+                links=tuple(
+                    (int(pair[0]), int(pair[1])) for pair in payload.get("links", ())
+                ),
+                loss_probability=float(payload.get("loss_probability", 0.0)),
+                extra_latency_s=float(payload.get("extra_latency_s", 0.0)),
+            )
+        except (KeyError, TypeError, ValueError, IndexError) as error:
+            raise ConfigurationError("malformed fault event %r: %s" % (payload, error))
+        event.validate()
+        return event
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable schedule of fault windows (empty by default)."""
+
+    events: Tuple[FaultEvent, ...] = ()
+
+    @property
+    def empty(self) -> bool:
+        return not self.events
+
+    def validate(self, num_nodes: Optional[int] = None) -> None:
+        for event in self.events:
+            event.validate(num_nodes)
+
+    def as_dicts(self) -> List[Dict[str, object]]:
+        return [event.as_dict() for event in self.events]
+
+    @classmethod
+    def from_events(cls, events: Sequence[FaultEvent]) -> "FaultPlan":
+        return cls(events=tuple(events))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse a JSON array of event objects (the :meth:`as_dicts` shape)."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ConfigurationError("fault plan is not valid JSON: %s" % error)
+        if not isinstance(payload, list):
+            raise ConfigurationError("fault plan JSON must be a list of events")
+        return cls.from_events([FaultEvent.from_dict(item) for item in payload])
+
+    @classmethod
+    def parse(cls, spec: str, num_nodes: Optional[int] = None) -> "FaultPlan":
+        """Parse a compact spec string (``;``-separated preset events).
+
+        Each event is ``kind@key=value,...`` with seconds accepted as bare
+        numbers or with an ``s`` suffix:
+
+        * ``partition@t=10s,d=5s[,nodes=0+1]`` -- cut the listed group (or
+          the first half of the mesh) off from the rest;
+        * ``outage@t=5,d=2,link=0-1[,link=1-0]`` -- black-hole links;
+        * ``crash@t=10,d=5,node=2`` -- crash node 2, restart 5 s later;
+        * ``latency@t=5,d=3,extra=0.5`` -- +500 ms on every link;
+        * ``loss@t=5,d=3,p=0.3`` -- 30 % extra drop chance on every link.
+        """
+        events = []
+        for chunk in spec.split(";"):
+            chunk = chunk.strip()
+            if chunk:
+                events.append(_parse_event_spec(chunk, num_nodes))
+        if not events:
+            raise ConfigurationError("fault plan spec %r contains no events" % spec)
+        plan = cls.from_events(events)
+        plan.validate(num_nodes)
+        return plan
+
+
+_SPEC_KINDS = {
+    "loss": FaultKind.LOSS_BURST,
+    "loss_burst": FaultKind.LOSS_BURST,
+    "outage": FaultKind.LINK_OUTAGE,
+    "link_outage": FaultKind.LINK_OUTAGE,
+    "partition": FaultKind.PARTITION,
+    "latency": FaultKind.LATENCY_SPIKE,
+    "latency_spike": FaultKind.LATENCY_SPIKE,
+    "crash": FaultKind.NODE_CRASH,
+    "node_crash": FaultKind.NODE_CRASH,
+}
+
+_DEFAULT_DURATION_S = 5.0
+
+
+def _parse_seconds(value: str) -> float:
+    text = value.strip().lower()
+    if text.endswith("s"):
+        text = text[:-1]
+    try:
+        return float(text)
+    except ValueError:
+        raise ConfigurationError("cannot parse %r as seconds" % value)
+
+
+def _parse_event_spec(chunk: str, num_nodes: Optional[int]) -> FaultEvent:
+    name, _, arg_text = chunk.partition("@")
+    kind = _SPEC_KINDS.get(name.strip().lower())
+    if kind is None:
+        raise ConfigurationError(
+            "unknown fault kind %r (expected one of %s)"
+            % (name, ", ".join(sorted(set(_SPEC_KINDS))))
+        )
+    start = None
+    duration = _DEFAULT_DURATION_S
+    nodes: List[int] = []
+    links: List[Tuple[int, int]] = []
+    loss = 0.0
+    extra_latency = 0.0
+    for pair in filter(None, (p.strip() for p in arg_text.split(","))):
+        key, eq, value = pair.partition("=")
+        if not eq:
+            raise ConfigurationError("malformed fault argument %r in %r" % (pair, chunk))
+        key = key.strip().lower()
+        if key == "t":
+            start = _parse_seconds(value)
+        elif key == "d":
+            duration = _parse_seconds(value)
+        elif key == "node":
+            nodes.append(_parse_int(value, chunk))
+        elif key == "nodes":
+            nodes.extend(_parse_int(v, chunk) for v in value.split("+"))
+        elif key == "link":
+            ends = value.split("-")
+            if len(ends) != 2:
+                raise ConfigurationError("link spec %r must be 'src-dst'" % value)
+            links.append((_parse_int(ends[0], chunk), _parse_int(ends[1], chunk)))
+        elif key == "p":
+            loss = _parse_float(value, chunk)
+        elif key == "extra":
+            extra_latency = _parse_seconds(value)
+        else:
+            raise ConfigurationError("unknown fault argument %r in %r" % (key, chunk))
+    if start is None:
+        raise ConfigurationError("fault spec %r is missing its start time t=" % chunk)
+    if kind is FaultKind.PARTITION and not nodes:
+        if num_nodes is None:
+            raise ConfigurationError(
+                "partition spec %r needs nodes=... when the mesh size is unknown" % chunk
+            )
+        nodes = list(range(num_nodes // 2))
+    if kind is FaultKind.LOSS_BURST and loss == 0.0:
+        loss = 0.5
+    if kind is FaultKind.LATENCY_SPIKE and extra_latency == 0.0:
+        extra_latency = 0.5
+    event = FaultEvent(
+        kind=kind,
+        start_s=start,
+        duration_s=duration,
+        nodes=tuple(nodes),
+        links=tuple(links),
+        loss_probability=loss,
+        extra_latency_s=extra_latency,
+    )
+    event.validate(num_nodes)
+    return event
+
+
+def _parse_int(value: str, context: str) -> int:
+    try:
+        return int(value.strip())
+    except ValueError:
+        raise ConfigurationError("cannot parse %r as a node id in %r" % (value, context))
+
+
+def _parse_float(value: str, context: str) -> float:
+    try:
+        return float(value.strip())
+    except ValueError:
+        raise ConfigurationError("cannot parse %r as a number in %r" % (value, context))
+
+
+def load_fault_plan(source: str, num_nodes: Optional[int] = None) -> FaultPlan:
+    """Resolve ``source`` into a plan: a JSON/spec file path or a spec string.
+
+    A path ending in ``.json`` (or whose contents start with ``[``) is
+    parsed as JSON; anything else goes through :meth:`FaultPlan.parse`.
+    """
+    from pathlib import Path
+
+    path = Path(source)
+    try:
+        is_file = path.is_file()
+    except OSError:
+        is_file = False
+    if is_file:
+        text = path.read_text()
+        if source.endswith(".json") or text.lstrip().startswith("["):
+            plan = FaultPlan.from_json(text)
+        else:
+            plan = FaultPlan.parse(text, num_nodes)
+        plan.validate(num_nodes)
+        return plan
+    return FaultPlan.parse(source, num_nodes)
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` against a scheduler and answers
+    point-in-time queries from the network layer.
+
+    Activation and deactivation are plain scheduled events, so the whole
+    fault timeline participates in the simulator's deterministic ordering.
+    Queries are O(active events) -- plans are small by construction.
+    """
+
+    def __init__(self, plan: FaultPlan, num_nodes: int) -> None:
+        plan.validate(num_nodes)
+        self.plan = plan
+        self.num_nodes = num_nodes
+        self._active: List[FaultEvent] = []
+        self._scheduler: Optional[EventScheduler] = None
+        self.messages_blocked = 0
+        self.activations: Dict[str, int] = {}
+        self.timeline: List[Tuple[float, str, str]] = []
+        """Observed ``(time, kind, "start"|"end")`` edges, in firing order."""
+
+    def install(self, scheduler: EventScheduler) -> None:
+        """Schedule every activation/deactivation edge of the plan."""
+        for event in self.plan.events:
+            scheduler.schedule_at(event.start_s, lambda e=event: self._activate(e))
+            scheduler.schedule_at(event.end_s, lambda e=event: self._deactivate(e))
+        self._scheduler = scheduler
+
+    def _activate(self, event: FaultEvent) -> None:
+        self._active.append(event)
+        self.activations[event.kind.value] = self.activations.get(event.kind.value, 0) + 1
+        self.timeline.append((self._scheduler.now, event.kind.value, "start"))
+
+    def _deactivate(self, event: FaultEvent) -> None:
+        self._active.remove(event)
+        self.timeline.append((self._scheduler.now, event.kind.value, "end"))
+
+    # ------------------------------------------------------------------
+    # point queries (called from Link.send / delivery / the node runtime)
+    # ------------------------------------------------------------------
+
+    @property
+    def active_events(self) -> Tuple[FaultEvent, ...]:
+        return tuple(self._active)
+
+    def node_down(self, node_id: int) -> bool:
+        """Whether ``node_id`` is currently crashed."""
+        return any(
+            event.kind is FaultKind.NODE_CRASH and node_id in event.nodes
+            for event in self._active
+        )
+
+    def link_blocked(self, source: int, destination: int) -> bool:
+        """Whether the directed link is severed (outage, partition, crash)."""
+        for event in self._active:
+            if event.kind in (
+                FaultKind.LINK_OUTAGE,
+                FaultKind.PARTITION,
+                FaultKind.NODE_CRASH,
+            ) and event.affects_link(source, destination):
+                return True
+        return False
+
+    def extra_loss(self, source: int, destination: int) -> float:
+        """Additional drop probability currently applied to the link."""
+        survival = 1.0
+        for event in self._active:
+            if event.kind is FaultKind.LOSS_BURST and event.affects_link(
+                source, destination
+            ):
+                survival *= 1.0 - event.loss_probability
+        return 1.0 - survival
+
+    def extra_latency(self, source: int, destination: int) -> float:
+        """Additional propagation delay currently applied to the link."""
+        return sum(
+            event.extra_latency_s
+            for event in self._active
+            if event.kind is FaultKind.LATENCY_SPIKE
+            and event.affects_link(source, destination)
+        )
+
+    def note_blocked(self) -> None:
+        """Called by the link layer when a message died to an active fault."""
+        self.messages_blocked += 1
+
+    def summary(self) -> Dict[str, float]:
+        """Flat counters for result reporting."""
+        counters: Dict[str, float] = {
+            "fault_events": float(len(self.plan.events)),
+            "messages_blocked": float(self.messages_blocked),
+        }
+        for kind, count in sorted(self.activations.items()):
+            counters["activations_%s" % kind] = float(count)
+        return counters

@@ -16,12 +16,21 @@ Latency is sampled per message, so reordering across *different* links is
 possible while each link itself preserves FIFO order end-to-end when
 ``preserve_order`` is set (the default, matching TCP streams between node
 pairs in the prototype).
+
+Faults.  Beyond the static ``loss_probability`` of the spec, a link may be
+wired to a :class:`~repro.net.faults.FaultInjector`, which can sever it
+(outage/partition/crash), add drop probability (loss bursts) or add
+propagation delay (latency spikes / gray failures).  Every dropped
+message -- whatever killed it -- is counted in ``messages_lost`` and
+``bytes_lost`` and reported to the optional ``on_drop`` observer, so the
+loss is visible in traffic accounting instead of silently vanishing.
+The sender always pays the serialization cost: losses happen in transit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
@@ -70,17 +79,24 @@ class Link:
         spec: LinkSpec,
         deliver: Callable[[Message], None],
         rng=None,
+        endpoints: Optional[Tuple[int, int]] = None,
+        fault_injector=None,
+        on_drop: Optional[Callable[[Message], None]] = None,
     ) -> None:
         spec.validate()
         self._scheduler = scheduler
         self._spec = spec
         self._deliver = deliver
         self._rng = ensure_rng(rng)
+        self._endpoints = endpoints
+        self._injector = fault_injector
+        self._on_drop = on_drop
         self._free_at = 0.0
         self._last_arrival = 0.0
         self.messages_sent = 0
         self.messages_lost = 0
         self.bytes_sent = 0
+        self.bytes_lost = 0
         self.busy_seconds = 0.0
 
     @property
@@ -100,8 +116,14 @@ class Link:
         """Serialization delay for ``message`` at the link bandwidth."""
         return message.size_bytes() * 8.0 / self._spec.bandwidth_bps
 
+    def _drop(self, message: Message) -> None:
+        self.messages_lost += 1
+        self.bytes_lost += message.size_bytes()
+        if self._on_drop is not None:
+            self._on_drop(message)
+
     def send(self, message: Message) -> float:
-        """Enqueue ``message``; returns its delivery time.
+        """Enqueue ``message``; returns its (nominal) delivery time.
 
         The sender is never blocked (the prototype's sockets buffer); the
         cost of congestion shows up as delivery delay, which is what the
@@ -112,18 +134,44 @@ class Link:
         depart = max(now, self._free_at) + tx_time
         self.busy_seconds += tx_time
         self._free_at = depart
-        arrival = depart + self._spec.sample_latency(self._rng)
+        latency = self._spec.sample_latency(self._rng)
+        if self._injector is not None and self._endpoints is not None:
+            latency += self._injector.extra_latency(*self._endpoints)
+        arrival = depart + latency
         if self._spec.preserve_order and arrival < self._last_arrival:
             arrival = self._last_arrival
         self._last_arrival = arrival
         message.created_at = now
         self.messages_sent += 1
         self.bytes_sent += message.size_bytes()
+        if self._injector is not None and self._endpoints is not None:
+            if self._injector.link_blocked(*self._endpoints):
+                self._injector.note_blocked()
+                self._drop(message)
+                return arrival  # serialized, paid for, never delivered
+            burst = self._injector.extra_loss(*self._endpoints)
+            if burst > 0.0 and self._rng.random() < burst:
+                self._injector.note_blocked()
+                self._drop(message)
+                return arrival
         if (
             self._spec.loss_probability > 0.0
             and self._rng.random() < self._spec.loss_probability
         ):
-            self.messages_lost += 1
-            return arrival  # serialized, paid for, never delivered
-        self._scheduler.schedule_at(arrival, lambda m=message: self._deliver(m))
+            self._drop(message)
+            return arrival
+        self._scheduler.schedule_at(arrival, lambda m=message: self._arrive(m))
         return arrival
+
+    def _arrive(self, message: Message) -> None:
+        """Delivery-time hand-off; a destination that crashed mid-flight
+        swallows the message (its process is not there to receive it)."""
+        if (
+            self._injector is not None
+            and self._endpoints is not None
+            and self._injector.node_down(self._endpoints[1])
+        ):
+            self._injector.note_blocked()
+            self._drop(message)
+            return
+        self._deliver(message)

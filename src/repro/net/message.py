@@ -57,6 +57,12 @@ class MessageKind(enum.Enum):
     CONTROL = "control"
     """Query dissemination and other control-plane traffic."""
 
+    ACK = "ack"
+    """Reliable-channel acknowledgement (header-only; see repro.net.reliable)."""
+
+    HEARTBEAT = "heartbeat"
+    """Liveness probe for the failure detector (header-only)."""
+
 
 @dataclass
 class Message:
@@ -75,6 +81,10 @@ class Message:
     summary_entries: int = 0
     message_id: int = field(default_factory=lambda: next(_message_ids))
     created_at: Optional[float] = None
+    seq: Optional[int] = None
+    """Reliable-channel sequence number (None for best-effort traffic);
+    on ACK messages, the sequence number being acknowledged.  Rides in the
+    fixed header, so it adds no modeled bytes."""
 
     def tuple_bytes(self) -> int:
         """Bytes attributable to the tuple/result/control body."""

@@ -25,6 +25,9 @@ class TrafficStats:
     summary_bytes: int = 0
     net_data_bytes: int = 0
     summary_entries: int = 0
+    messages_lost: int = 0
+    bytes_lost: int = 0
+    lost_by_kind: Counter = field(default_factory=Counter)
 
     def record(self, message: Message) -> None:
         """Account one sent message."""
@@ -34,6 +37,17 @@ class TrafficStats:
         self.summary_bytes += message.summary_bytes()
         self.net_data_bytes += message.size_bytes() - message.summary_bytes()
         self.summary_entries += message.summary_entries
+
+    def record_loss(self, message: Message) -> None:
+        """Account one message dropped in transit.
+
+        Lost messages were already :meth:`record`-ed when sent (their bytes
+        occupied the link); these counters make the loss itself visible
+        instead of leaving it implied by missing deliveries.
+        """
+        self.messages_lost += 1
+        self.bytes_lost += message.size_bytes()
+        self.lost_by_kind[message.kind.value] += 1
 
     @property
     def total_messages(self) -> int:
@@ -69,6 +83,9 @@ class TrafficStats:
         self.summary_bytes += other.summary_bytes
         self.net_data_bytes += other.net_data_bytes
         self.summary_entries += other.summary_entries
+        self.messages_lost += other.messages_lost
+        self.bytes_lost += other.bytes_lost
+        self.lost_by_kind.update(other.lost_by_kind)
 
     def as_dict(self) -> Dict[str, float]:
         """Flat dictionary for result reporting."""
@@ -79,4 +96,6 @@ class TrafficStats:
             "net_data_bytes": self.net_data_bytes,
             "summary_entries": self.summary_entries,
             "summary_overhead_fraction": self.summary_overhead_fraction(),
+            "messages_lost": self.messages_lost,
+            "bytes_lost": self.bytes_lost,
         }

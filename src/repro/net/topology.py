@@ -36,12 +36,18 @@ class Network:
         scheduler: EventScheduler,
         spec: Optional[LinkSpec] = None,
         rng=None,
+        fault_injector=None,
     ) -> None:
         self._scheduler = scheduler
         self._spec = spec if spec is not None else LinkSpec()
         self._rng = ensure_rng(rng)
         self._endpoints: Dict[int, Endpoint] = {}
         self._links: Dict[Tuple[int, int], Link] = {}
+        self.fault_injector = fault_injector
+        """Optional :class:`repro.net.faults.FaultInjector`; every link
+        created after assignment consults it (the system wires it before
+        any link exists)."""
+
         self.stats = TrafficStats()
         self.per_sender_stats: Dict[int, TrafficStats] = {}
         self.trace = None
@@ -80,8 +86,17 @@ class Network:
                 self._spec,
                 deliver=endpoint.on_message,
                 rng=spawn(self._rng, 1)[0],
+                endpoints=key,
+                fault_injector=self.fault_injector,
+                on_drop=self._record_loss,
             )
         return self._links[key]
+
+    def _record_loss(self, message: Message) -> None:
+        self.stats.record_loss(message)
+        sender_stats = self.per_sender_stats.get(message.source)
+        if sender_stats is not None:
+            sender_stats.record_loss(message)
 
     def send(self, message: Message) -> float:
         """Transmit ``message`` over the mesh; returns its delivery time."""
@@ -95,14 +110,19 @@ class Network:
             self.trace.record(self._scheduler.now, message)
         return arrival
 
-    def link_stats(self) -> Dict[Tuple[int, int], Tuple[int, int]]:
-        """Per-directed-link ``(messages, bytes)`` counters.
+    def link_stats(self) -> Dict[Tuple[int, int], Tuple[int, int, int, int]]:
+        """Per-directed-link ``(messages, bytes, messages_lost, bytes_lost)``.
 
         Only links that have carried traffic appear (links are lazy).
         The analysis helpers build traffic matrices from this.
         """
         return {
-            pair: (link.messages_sent, link.bytes_sent)
+            pair: (
+                link.messages_sent,
+                link.bytes_sent,
+                link.messages_lost,
+                link.bytes_lost,
+            )
             for pair, link in self._links.items()
         }
 

@@ -1,32 +1,16 @@
 """Fault-injection tests: the system degrades gracefully under message loss."""
 
-import math
-
 import numpy as np
 import pytest
 
-from repro.config import Algorithm, PolicyConfig, SystemConfig, WorkloadConfig
-from repro.core.system import run_experiment
+from repro.analysis import loss_matrix, lost_byte_matrix
+from repro.config import Algorithm
+from repro.core.system import DistributedJoinSystem, run_experiment
 from repro.errors import ConfigurationError
+from repro.net.faults import FaultPlan
 from repro.net.link import Link, LinkSpec
 from repro.net.message import Message, MessageKind
 from repro.net.simulator import EventScheduler
-
-
-def lossy_config(algorithm, loss):
-    return SystemConfig(
-        num_nodes=4,
-        window_size=96,
-        policy=PolicyConfig(algorithm=algorithm, kappa=4.0),
-        workload=WorkloadConfig(total_tuples=1500, domain=512, arrival_rate=120.0),
-        link=LinkSpec(
-            bandwidth_bps=math.inf,
-            latency_min_s=0.02,
-            latency_max_s=0.1,
-            loss_probability=loss,
-        ),
-        seed=31,
-    )
 
 
 class TestLinkLoss:
@@ -45,6 +29,7 @@ class TestLinkLoss:
         scheduler.run()
         assert len(delivered) == 50
         assert link.messages_lost == 0
+        assert link.bytes_lost == 0
 
     def test_loss_rate_is_respected(self):
         delivered = []
@@ -60,6 +45,7 @@ class TestLinkLoss:
         scheduler.run()
         assert link.messages_lost + len(delivered) == 1000
         assert 0.25 < link.messages_lost / 1000 < 0.35
+        assert link.bytes_lost == link.messages_lost * 72
 
     def test_lost_messages_still_cost_bandwidth(self):
         scheduler = EventScheduler()
@@ -76,7 +62,7 @@ class TestLinkLoss:
 
 
 class TestSystemUnderLoss:
-    def test_base_loses_exactly_the_dropped_matches(self):
+    def test_base_loses_exactly_the_dropped_matches(self, lossy_config):
         clean = run_experiment(lossy_config(Algorithm.BASE, 0.0))
         lossy = run_experiment(lossy_config(Algorithm.BASE, 0.2))
         assert clean.epsilon < 0.02
@@ -84,15 +70,53 @@ class TestSystemUnderLoss:
         assert lossy.epsilon < 0.5  # local + surviving-copy results remain
 
     @pytest.mark.parametrize("algorithm", [Algorithm.DFT, Algorithm.DFTT, Algorithm.BLOOM])
-    def test_filtered_algorithms_survive_loss(self, algorithm):
+    def test_filtered_algorithms_survive_loss(self, lossy_config, algorithm):
         result = run_experiment(lossy_config(algorithm, 0.2))
         assert result.truth_pairs > 0
         assert result.reported_pairs > 0
         assert 0.0 <= result.epsilon <= 1.0
 
-    def test_error_monotone_in_loss_rate(self):
+    def test_error_monotone_in_loss_rate(self, lossy_config):
         errors = [
             run_experiment(lossy_config(Algorithm.BASE, loss)).epsilon
             for loss in (0.0, 0.3, 0.6)
         ]
         assert errors[0] <= errors[1] <= errors[2]
+
+
+class TestLossAccounting:
+    """Satellite fix: in-transit drops surface in stats and run results."""
+
+    def test_run_result_reports_losses(self, lossy_config):
+        result = run_experiment(lossy_config(Algorithm.BASE, 0.3))
+        assert result.messages_lost > 0
+        assert result.traffic["messages_lost"] == result.messages_lost
+        assert result.traffic["bytes_lost"] > 0
+        # Lost messages were sent (serialized) before dying in transit.
+        assert result.messages_lost < result.traffic["total_messages"]
+
+    def test_clean_run_reports_zero_losses(self, lossy_config):
+        result = run_experiment(lossy_config(Algorithm.BASE, 0.0))
+        assert result.messages_lost == 0
+        assert result.traffic["bytes_lost"] == 0
+
+    def test_loss_matrices(self, lossy_config):
+        system = DistributedJoinSystem(lossy_config(Algorithm.BASE, 0.3))
+        system.run()
+        losses = loss_matrix(system.network)
+        lost_bytes = lost_byte_matrix(system.network)
+        assert losses.sum() == system.network.stats.messages_lost
+        assert lost_bytes.sum() == system.network.stats.bytes_lost
+        assert np.all(np.diag(losses) == 0)
+        # Per-sender stats partition the same totals.
+        assert (
+            sum(s.messages_lost for s in system.network.per_sender_stats.values())
+            == system.network.stats.messages_lost
+        )
+
+    def test_fault_blocked_messages_are_accounted_as_lost(self, lossy_config):
+        plan = FaultPlan.parse("outage@t=1,d=2,link=0-1,link=0-2,link=0-3", num_nodes=4)
+        result = run_experiment(lossy_config(Algorithm.BASE, 0.0, faults=plan))
+        assert result.faults["messages_blocked"] > 0
+        assert result.messages_lost >= result.faults["messages_blocked"]
+        assert result.traffic["bytes_lost"] > 0

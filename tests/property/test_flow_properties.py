@@ -4,7 +4,7 @@ import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
-from repro.core.flow import FlowController, FlowSettings
+from repro.core.flow import FlowController, FlowSettings, waterfill_cutoff
 from repro.metrics.error import epsilon_error
 
 similarity_maps = st.dictionaries(
@@ -27,8 +27,8 @@ def test_probabilities_are_valid_and_meet_budget(similarities, budget)  :
     achieved = controller.expected_transmissions(probabilities)
     scale = max(similarities.values())
     # Mirror the controller's numeric-zero cutoff: peers vanishingly small
-    # relative to the best would need an unrepresentable weight.
-    positive = sum(1 for v in similarities.values() if v >= scale * 1e-12 and v > 0)
+    # relative to the best (or denormal) would need an unrepresentable weight.
+    positive = sum(1 for v in similarities.values() if v >= waterfill_cutoff(scale))
     if positive == 0:
         # Degenerate case: the budget spreads uniformly over all peers.
         target = min(controller.budget, float(len(similarities)))

@@ -1,0 +1,211 @@
+"""Unit tests for the deterministic fault-injection framework."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    load_fault_plan,
+)
+from repro.net.simulator import EventScheduler
+
+
+def outage(start=1.0, duration=2.0, links=((0, 1),)):
+    return FaultEvent(
+        kind=FaultKind.LINK_OUTAGE, start_s=start, duration_s=duration, links=links
+    )
+
+
+class TestFaultEvent:
+    def test_validation_rejects_bad_windows(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(FaultKind.NODE_CRASH, start_s=-1.0, duration_s=1.0, nodes=(0,)).validate()
+        with pytest.raises(ConfigurationError):
+            FaultEvent(FaultKind.NODE_CRASH, start_s=0.0, duration_s=0.0, nodes=(0,)).validate()
+
+    def test_kind_specific_requirements(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(FaultKind.NODE_CRASH, 0.0, 1.0).validate()
+        with pytest.raises(ConfigurationError):
+            FaultEvent(FaultKind.PARTITION, 0.0, 1.0).validate()
+        with pytest.raises(ConfigurationError):
+            FaultEvent(FaultKind.LINK_OUTAGE, 0.0, 1.0).validate()
+        with pytest.raises(ConfigurationError):
+            FaultEvent(FaultKind.LOSS_BURST, 0.0, 1.0, loss_probability=0.0).validate()
+        with pytest.raises(ConfigurationError):
+            FaultEvent(FaultKind.LATENCY_SPIKE, 0.0, 1.0, extra_latency_s=0.0).validate()
+
+    def test_mesh_bounds(self):
+        event = FaultEvent(FaultKind.NODE_CRASH, 0.0, 1.0, nodes=(7,))
+        event.validate()  # fine without a mesh size
+        with pytest.raises(ConfigurationError):
+            event.validate(num_nodes=4)
+        with pytest.raises(ConfigurationError):
+            # A partition must leave somebody on the other side.
+            FaultEvent(FaultKind.PARTITION, 0.0, 1.0, nodes=(0, 1)).validate(num_nodes=2)
+
+    def test_partition_affects_only_cut_crossing_links(self):
+        event = FaultEvent(FaultKind.PARTITION, 0.0, 1.0, nodes=(0, 1))
+        assert event.affects_link(0, 2)
+        assert event.affects_link(2, 1)
+        assert not event.affects_link(0, 1)
+        assert not event.affects_link(2, 3)
+
+    def test_crash_affects_both_directions(self):
+        event = FaultEvent(FaultKind.NODE_CRASH, 0.0, 1.0, nodes=(2,))
+        assert event.affects_link(2, 0)
+        assert event.affects_link(0, 2)
+        assert not event.affects_link(0, 1)
+
+    def test_dict_round_trip(self):
+        event = FaultEvent(
+            FaultKind.LOSS_BURST, 1.5, 2.5, links=((0, 1),), loss_probability=0.4
+        )
+        assert FaultEvent.from_dict(event.as_dict()) == event
+
+
+class TestFaultPlan:
+    def test_json_round_trip(self):
+        plan = FaultPlan.from_events(
+            [outage(), FaultEvent(FaultKind.NODE_CRASH, 5.0, 1.0, nodes=(2,))]
+        )
+        restored = FaultPlan.from_json(json.dumps(plan.as_dicts()))
+        assert restored == plan
+
+    def test_parse_spec_grammar(self):
+        plan = FaultPlan.parse(
+            "partition@t=10s,d=5s; crash@t=8,d=2,node=1; loss@t=3,d=1,p=0.3;"
+            " latency@t=4,d=1,extra=0.25; outage@t=1,d=1,link=0-2",
+            num_nodes=4,
+        )
+        kinds = [event.kind for event in plan.events]
+        assert kinds == [
+            FaultKind.PARTITION,
+            FaultKind.NODE_CRASH,
+            FaultKind.LOSS_BURST,
+            FaultKind.LATENCY_SPIKE,
+            FaultKind.LINK_OUTAGE,
+        ]
+        partition = plan.events[0]
+        assert partition.start_s == 10.0 and partition.duration_s == 5.0
+        assert partition.nodes == (0, 1)  # default: first half of the mesh
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.parse("bogus@t=1", num_nodes=4)
+        with pytest.raises(ConfigurationError):
+            FaultPlan.parse("crash@d=2,node=1", num_nodes=4)  # missing t=
+        with pytest.raises(ConfigurationError):
+            FaultPlan.parse("outage@t=1,link=0", num_nodes=4)  # malformed link
+        with pytest.raises(ConfigurationError):
+            FaultPlan.parse("", num_nodes=4)
+
+    def test_load_fault_plan_from_files(self, tmp_path):
+        plan = FaultPlan.from_events([outage()])
+        json_file = tmp_path / "plan.json"
+        json_file.write_text(json.dumps(plan.as_dicts()))
+        assert load_fault_plan(str(json_file), 4) == plan
+        spec_file = tmp_path / "plan.txt"
+        spec_file.write_text("crash@t=2,d=1,node=0")
+        loaded = load_fault_plan(str(spec_file), 4)
+        assert loaded.events[0].kind is FaultKind.NODE_CRASH
+        assert load_fault_plan("loss@t=1,d=1,p=0.2", 4).events[0].loss_probability == 0.2
+
+
+class TestFaultInjector:
+    @staticmethod
+    def probe_at(scheduler, time, query, results):
+        """Capture a point query mid-run (the scheduler drains fully)."""
+        scheduler.schedule_at(time, lambda: results.append(query()))
+
+    def test_windows_activate_and_deactivate(self):
+        scheduler = EventScheduler()
+        injector = FaultInjector(FaultPlan.from_events([outage(1.0, 2.0)]), 4)
+        injector.install(scheduler)
+        assert not injector.link_blocked(0, 1)
+        during, reverse, after = [], [], []
+        self.probe_at(scheduler, 1.5, lambda: injector.link_blocked(0, 1), during)
+        self.probe_at(scheduler, 1.5, lambda: injector.link_blocked(1, 0), reverse)
+        self.probe_at(scheduler, 3.5, lambda: injector.link_blocked(0, 1), after)
+        scheduler.run()
+        assert during == [True]
+        assert reverse == [False]  # directed
+        assert after == [False]
+        assert injector.timeline == [(1.0, "link_outage", "start"), (3.0, "link_outage", "end")]
+
+    def test_crash_and_partition_queries(self):
+        scheduler = EventScheduler()
+        plan = FaultPlan.from_events(
+            [
+                FaultEvent(FaultKind.NODE_CRASH, 1.0, 2.0, nodes=(2,)),
+                FaultEvent(FaultKind.PARTITION, 1.0, 2.0, nodes=(0,)),
+            ]
+        )
+        injector = FaultInjector(plan, 4)
+        injector.install(scheduler)
+        seen = []
+        self.probe_at(
+            scheduler,
+            1.5,
+            lambda: (
+                injector.node_down(2),
+                injector.node_down(0),
+                injector.link_blocked(0, 3),  # partition cut
+                injector.link_blocked(1, 2),  # crash endpoint
+                injector.link_blocked(1, 3),
+            ),
+            seen,
+        )
+        scheduler.run()
+        assert seen == [(True, False, True, True, False)]
+
+    def test_loss_and_latency_compose(self):
+        scheduler = EventScheduler()
+        plan = FaultPlan.from_events(
+            [
+                FaultEvent(FaultKind.LOSS_BURST, 0.0, 5.0, loss_probability=0.5),
+                FaultEvent(FaultKind.LOSS_BURST, 0.0, 5.0, loss_probability=0.5),
+                FaultEvent(FaultKind.LATENCY_SPIKE, 0.0, 5.0, extra_latency_s=0.2),
+            ]
+        )
+        injector = FaultInjector(plan, 4)
+        injector.install(scheduler)
+        during, after = [], []
+        self.probe_at(
+            scheduler, 1.0,
+            lambda: (injector.extra_loss(0, 1), injector.extra_latency(0, 1)), during,
+        )
+        self.probe_at(
+            scheduler, 6.0,
+            lambda: (injector.extra_loss(0, 1), injector.extra_latency(0, 1)), after,
+        )
+        scheduler.run()
+        assert during[0][0] == pytest.approx(0.75)  # 1 - 0.5^2
+        assert during[0][1] == pytest.approx(0.2)
+        assert after == [(0.0, 0.0)]
+
+    def test_summary_counters(self):
+        scheduler = EventScheduler()
+        injector = FaultInjector(FaultPlan.from_events([outage()]), 4)
+        injector.install(scheduler)
+        injector.note_blocked()
+        injector.note_blocked()
+        scheduler.run()
+        summary = injector.summary()
+        assert summary["fault_events"] == 1.0
+        assert summary["messages_blocked"] == 2.0
+        assert summary["activations_link_outage"] == 1.0
+
+    def test_plan_validated_against_mesh(self):
+        with pytest.raises(ConfigurationError):
+            FaultInjector(
+                FaultPlan.from_events(
+                    [FaultEvent(FaultKind.NODE_CRASH, 0.0, 1.0, nodes=(9,))]
+                ),
+                4,
+            )
