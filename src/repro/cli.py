@@ -105,6 +105,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0, help="random seed")
     parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
     parser.add_argument("--verbose", action="store_true", help="per-node diagnostics")
+    parser.add_argument(
+        "--profile",
+        type=int,
+        default=0,
+        metavar="N",
+        help="profile the run: per-kernel wall/CPU accounting plus the "
+        "top-N cProfile entries by cumulative time (0 disables)",
+    )
     return parser
 
 
@@ -174,10 +182,20 @@ def config_from_args(args: argparse.Namespace) -> SystemConfig:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    profile_report = ""
+    profiler = None
     try:
         config = config_from_args(args)
         config.validate()
-        result = run_experiment(config)
+        if args.profile > 0:
+            from repro.profiling import KernelProfiler, profile_call
+
+            profiler = KernelProfiler()
+            result, profile_report = profile_call(
+                lambda: run_experiment(config, profiler=profiler), top=args.profile
+            )
+        else:
+            result = run_experiment(config)
     except ReproError as error:
         print("error: %s" % error, file=sys.stderr)
         return 2
@@ -192,11 +210,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             payload["reliability"] = result.reliability
         if result.faults:
             payload["faults"] = result.faults
+        if result.profile:
+            payload["profile"] = result.profile
         if args.verbose:
             payload["node_diagnostics"] = {
                 str(node): diag for node, diag in result.node_diagnostics.items()
             }
         print(json.dumps(payload, indent=2, default=float))
+        if profile_report:
+            print(profile_report, file=sys.stderr)
         return 0
 
     print("algorithm        %s" % result.config["algorithm"])
@@ -226,6 +248,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print("node %d:" % node)
             for key, value in sorted(diagnostics.items()):
                 print("  %-28s %g" % (key, value))
+    if profiler is not None:
+        print()
+        print(profiler.format())
+        print()
+        print(profile_report, end="")
     return 0
 
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import SystemConfig, WindowKind
 from repro.core.health import PeerHealthMonitor
@@ -73,6 +73,7 @@ class JoinProcessingNode:
         collector: ResultCollector,
         transport: Optional[ReliableTransport] = None,
         fault_injector=None,
+        profiler=None,
     ) -> None:
         self.node_id = node_id
         self.config = config
@@ -93,6 +94,9 @@ class JoinProcessingNode:
         self.transport = transport
         """Reliable control-plane endpoint; ``None`` runs the paper's
         pure best-effort wire protocol (the default)."""
+        self.profiler = profiler
+        """Optional :class:`~repro.profiling.KernelProfiler`; when set,
+        every service is accounted to a per-kind kernel section."""
         self.fault_injector = fault_injector
         self.health: Optional[PeerHealthMonitor] = None
         self.local_arrivals_dropped = 0
@@ -177,6 +181,28 @@ class JoinProcessingNode:
             return
         self._enqueue(("local", item))
 
+    def on_local_arrivals(self, items: Sequence[StreamTuple]) -> None:
+        """A coalesced block of same-timestamp local arrivals.
+
+        Simultaneous arrivals have no defined relative order, so the node
+        ingests the whole block into windows and summaries first (one
+        vectorized pass through the batched kernels) and then makes the
+        per-tuple forwarding decisions against the post-block summary
+        state.  A single-element block takes the identical path (and cost
+        model) as :meth:`on_local_arrival`.
+        """
+        if not items:
+            return
+        if len(items) == 1:
+            self.on_local_arrival(items[0])
+            return
+        if self.fault_injector is not None and self.fault_injector.node_down(
+            self.node_id
+        ):
+            self.local_arrivals_dropped += len(items)
+            return
+        self._enqueue(("local_batch", tuple(items)))
+
     def on_message(self, message: Message) -> None:
         """Network delivery callback.
 
@@ -209,12 +235,21 @@ class JoinProcessingNode:
             return
         self._busy = True
         kind, payload = self._queue.popleft()
-        if kind == "local":
-            service_time = self._process_local(payload)
+        if self.profiler is None:
+            service_time = self._dispatch(kind, payload)
         else:
-            service_time = self._process_message(payload)
+            items = len(payload) if kind == "local_batch" else 1
+            with self.profiler.section("node.%s" % kind, items=items):
+                service_time = self._dispatch(kind, payload)
         self.busy_seconds += service_time
         self.scheduler.schedule_in(service_time, self._finish_service)
+
+    def _dispatch(self, kind: str, payload: object) -> float:
+        if kind == "local":
+            return self._process_local(payload)
+        if kind == "local_batch":
+            return self._process_local_batch(payload)
+        return self._process_message(payload)
 
     def _finish_service(self) -> None:
         self._busy = False
@@ -297,6 +332,54 @@ class JoinProcessingNode:
 
         self.tuples_processed += 1
         return self.config.cpu_seconds_per_tuple + transmission_seconds
+
+    def _process_local_batch(self, raw_items: Tuple[StreamTuple, ...]) -> float:
+        """Service a coalesced block of simultaneous local arrivals.
+
+        Mirrors :meth:`_process_local` tuple-for-tuple, except that the
+        summary maintenance runs once per block through the policies'
+        vectorized :meth:`on_local_insert_batch` hook and the time-window
+        refresh / stale-summary flush run once instead of per tuple.
+        Service time stays per-tuple (the block is workload, not a free
+        lunch): ``B * cpu_seconds_per_tuple`` plus every transmission
+        pause the block's results and forwards incur.
+        """
+        now = self.scheduler.now
+        transmission_seconds = 0.0
+        by_query: Dict[int, List[StreamTuple]] = {}
+        for raw_item in raw_items:
+            by_query.setdefault(raw_item.query_id, []).append(raw_item)
+        for query_id, raw_batch in by_query.items():
+            runtime = self._queries[query_id]
+            self._refresh_time_windows(runtime, now)
+            items = [raw.with_timestamp(now) for raw in raw_batch]
+            for _ in items:
+                self._note_arrival(now)
+
+            # Phase 1: ingest the whole block -- windows, oracle, probes.
+            batch_results: List[List[JoinResult]] = []
+            batch_evictions: List[List[StreamTuple]] = []
+            for item in items:
+                results, evicted = runtime.join.insert_local(item, now)
+                results.extend(self._probe_shadow(runtime, item, now))
+                runtime.oracle.observe_arrival(item, evicted)
+                batch_results.append(results)
+                batch_evictions.append(evicted)
+            runtime.policy.on_local_insert_batch(items, batch_evictions)
+
+            # Phase 2: per-tuple reporting and forwarding decisions.
+            runtime.policy.observe_congestion(len(self._queue))
+            for item, results in zip(items, batch_results):
+                transmission_seconds += self._report_results(runtime, results, now)
+                destinations = runtime.policy.choose_destinations(item)
+                destinations = self._apply_degradation(runtime, destinations, now)
+                for destination in destinations:
+                    transmission_seconds += self._send_tuple(item, destination, now)
+        transmission_seconds += self._flush_stale_summaries(now)
+        self.tuples_processed += len(raw_items)
+        return (
+            len(raw_items) * self.config.cpu_seconds_per_tuple + transmission_seconds
+        )
 
     def _apply_degradation(
         self, runtime: QueryRuntime, destinations: List[int], now: float

@@ -43,6 +43,11 @@ class RunResult:
     """Fault-injection summary (events, messages blocked, activations per
     kind).  Empty when the run had no fault plan."""
 
+    profile: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    """Per-kernel wall/CPU accounting (calls, items, seconds, items/s)
+    from the :class:`~repro.profiling.KernelProfiler` the run was handed.
+    Empty -- and zero-overhead -- when no profiler was attached."""
+
     @property
     def epsilon(self) -> float:
         """Equation 1's error."""

@@ -20,7 +20,7 @@ same for all of them:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -158,7 +158,12 @@ class DftSummaryManager:
         self.outbox = outbox
         bins = low_frequency_bins(window_size, budget)
         self.dft = SlidingDFT(window_size, tracked_bins=bins)
-        self._last_broadcast: Dict[int, complex] = {}
+        # Broadcast memory as arrays aligned with the tracked bins: the
+        # delta-suppression scan then runs vectorized over the DFT's
+        # zero-copy coefficient view instead of materializing a dict per
+        # broadcast.
+        self._last_broadcast_values = np.zeros(bins.size, dtype=np.complex128)
+        self._ever_broadcast = np.zeros(bins.size, dtype=bool)
         self._updates_since_refresh = 0
         self._version = 0
         self.broadcasts = 0
@@ -171,19 +176,47 @@ class DftSummaryManager:
             self._updates_since_refresh = 0
             self.refresh()
 
+    def observe_batch(self, keys: Sequence[float]) -> None:
+        """Feed a block of attribute values through the summary.
+
+        Equivalent to calling :meth:`observe` per key -- the block is
+        split at refresh-cadence boundaries so every broadcast fires
+        after exactly the arrival it would have in the scalar loop,
+        while the DFT maintenance between broadcasts runs through the
+        vectorized :meth:`~repro.dft.sliding.SlidingDFT.extend` path.
+        """
+        values = np.asarray(keys, dtype=np.float64).reshape(-1)
+        start = 0
+        while start < values.size:
+            take = min(
+                values.size - start,
+                self.refresh_interval - self._updates_since_refresh,
+            )
+            self.dft.extend(values[start : start + take])
+            self._updates_since_refresh += take
+            start += take
+            if self._updates_since_refresh >= self.refresh_interval:
+                self._updates_since_refresh = 0
+                self.refresh()
+
     def refresh(self) -> Optional[SummaryUpdate]:
         """Broadcast the coefficients that changed materially, if any."""
-        current = self.dft.coefficient_map()
-        changed: Dict[int, complex] = {}
-        for bin_index, value in current.items():
-            previous = self._last_broadcast.get(bin_index)
-            if previous is None or _materially_different(
-                previous, value, self.delta_tolerance
-            ):
-                changed[bin_index] = value
-        if not changed:
+        bins, current = self.dft.coefficient_view()
+        previous = self._last_broadcast_values
+        scale = np.maximum(
+            np.maximum(np.abs(previous), np.abs(current)), 1.0
+        )
+        changed_mask = ~self._ever_broadcast | (
+            np.abs(current - previous) > self.delta_tolerance * scale
+        )
+        if not changed_mask.any():
             return None
-        self._last_broadcast.update(changed)
+        self._last_broadcast_values[changed_mask] = current[changed_mask]
+        self._ever_broadcast[changed_mask] = True
+        changed = {
+            int(b): complex(c)
+            for b, c in zip(bins[changed_mask], current[changed_mask])
+        }
         self._version += 1
         update = SummaryUpdate(
             algorithm=self.ALGORITHM,
@@ -213,7 +246,9 @@ class DftSummaryManager:
         current = self.dft.coefficient_map()
         if not current:
             return None
-        self._last_broadcast.update(current)
+        _, coefficients = self.dft.coefficient_view()
+        self._last_broadcast_values[:] = coefficients
+        self._ever_broadcast[:] = True
         self._version += 1
         return SummaryUpdate(
             algorithm=self.ALGORITHM,

@@ -76,9 +76,12 @@ def build_key_stream(workload: WorkloadConfig, rng: np.random.Generator) -> Iter
 class DistributedJoinSystem:
     """End-to-end assembly and execution of one experiment run."""
 
-    def __init__(self, config: SystemConfig) -> None:
+    def __init__(self, config: SystemConfig, profiler=None) -> None:
         config.validate()
         self.config = config
+        self.profiler = profiler
+        """Optional :class:`~repro.profiling.KernelProfiler`; threaded
+        into every node's service loop and snapshot into the result."""
         root_rng = ensure_rng(config.seed)
         (
             self._workload_rng,
@@ -160,6 +163,7 @@ class DistributedJoinSystem:
                         collector=self.collectors[query_id],
                         transport=transport,
                         fault_injector=self.fault_injector,
+                        profiler=profiler,
                     )
                 else:
                     node.add_query(
@@ -240,19 +244,45 @@ class DistributedJoinSystem:
             key_batch = list(itertools.islice(keys, count))
             nodes = self.partitioner.assign(key_batch)
             streams = schedule_rngs[query_id].random(count) < 0.5
-            for index in range(count):
-                item = StreamTuple(
-                    stream=StreamId.R if streams[index] else StreamId.S,
-                    key=int(key_batch[index]),
-                    origin_node=int(nodes[index]),
-                    arrival_index=arrival_index,
-                    query_id=query_id,
-                )
-                arrival_index += 1
-                node = self.nodes[item.origin_node]
-                self.scheduler.schedule_at(
-                    float(times[index]), lambda n=node, t=item: n.on_local_arrival(t)
-                )
+            # Consecutive arrivals that collide on both timestamp and
+            # origin node coalesce into one batch delivery, so the node
+            # runs its vectorized kernels over the block.  Continuous
+            # Poisson gaps essentially never collide (every such run is a
+            # singleton and takes the exact scalar path), but quantized
+            # replay traces and burst generators do.
+            index = 0
+            while index < count:
+                when = float(times[index])
+                origin = int(nodes[index])
+                end = index + 1
+                while (
+                    end < count
+                    and float(times[end]) == when
+                    and int(nodes[end]) == origin
+                ):
+                    end += 1
+                batch = []
+                for position in range(index, end):
+                    batch.append(
+                        StreamTuple(
+                            stream=StreamId.R if streams[position] else StreamId.S,
+                            key=int(key_batch[position]),
+                            origin_node=origin,
+                            arrival_index=arrival_index,
+                            query_id=query_id,
+                        )
+                    )
+                    arrival_index += 1
+                node = self.nodes[origin]
+                if len(batch) == 1:
+                    self.scheduler.schedule_at(
+                        when, lambda n=node, t=batch[0]: n.on_local_arrival(t)
+                    )
+                else:
+                    self.scheduler.schedule_at(
+                        when, lambda n=node, b=tuple(batch): n.on_local_arrivals(b)
+                    )
+                index = end
             last_time = max(last_time, float(times[-1]))
         self._tuples_scheduled = workload.total_tuples
         self._arrival_span = last_time
@@ -287,7 +317,11 @@ class DistributedJoinSystem:
         """Schedule (if needed), drain the event loop, aggregate metrics."""
         if self._tuples_scheduled == 0:
             self.schedule_workload()
-        self.scheduler.run()
+        if self.profiler is not None:
+            with self.profiler.section("system.run"):
+                self.scheduler.run()
+        else:
+            self.scheduler.run()
         return self._collect()
 
     def _collect(self) -> RunResult:
@@ -370,9 +404,10 @@ class DistributedJoinSystem:
             latency=merged_latency.snapshot(),
             reliability=reliability,
             faults=faults,
+            profile=self.profiler.snapshot() if self.profiler is not None else {},
         )
 
 
-def run_experiment(config: SystemConfig) -> RunResult:
+def run_experiment(config: SystemConfig, profiler=None) -> RunResult:
     """One-call convenience: build, run, and return the result."""
-    return DistributedJoinSystem(config).run()
+    return DistributedJoinSystem(config, profiler=profiler).run()

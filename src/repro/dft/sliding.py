@@ -28,16 +28,68 @@ Floating-point drift accrues on the order of 1e-16 per update per
 coefficient (the paper cites [4] for the same bound), so the window is
 fully recomputed at the cadence prescribed by a
 :class:`~repro.dft.control.ControlVector`.
+
+Fast paths
+----------
+
+The per-slot phase rows ``exp(-2j*pi*k*p/W)`` depend only on the slot
+``p``, never on the data, so three evaluation modes are supported:
+
+``table``
+    Precompute the full ``W x K`` twiddle table once.  Chosen
+    automatically when ``W * K <= TWIDDLE_TABLE_MAX_ENTRIES`` (32 MiB of
+    complex128 at the default cap).  The table is produced by the same
+    vectorized ``np.exp`` the per-tuple path evaluated, so coefficients
+    are bit-identical to the historical per-update formulation.
+
+``rotation``
+    When the table would exceed the cap, keep only the current phase row
+    and advance it by an elementwise multiply with the constant one-slot
+    rotation ``exp(-2j*pi*k/W)``, resetting exactly to ones at slot-0
+    wraparound so accumulated phase error never exceeds one window's
+    worth (well under the control vector's drift budget).
+
+``naive``
+    The historical reference: a fresh ``np.exp`` per update.  Kept for
+    equivalence tests and benchmarks; selected globally by setting the
+    ``REPRO_NAIVE_KERNELS`` environment variable.
+
+:meth:`SlidingDFT.extend` is a true batched path: a block of samples is
+applied as one vectorized outer-product update whose reduction is
+strictly in arrival order, so it is bit-identical to the equivalent
+:meth:`SlidingDFT.update` loop while performing O(1) numpy dispatches
+per block instead of ~6 per sample.  Drift control is checked once per
+block boundary, with blocks split so recomputation fires after exactly
+the same update as in the scalar path.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+import os
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.dft.control import ControlVector
 from repro.errors import SummaryError
+
+TWIDDLE_TABLE_MAX_ENTRIES = 1 << 21
+"""Twiddle tables above this many complex entries (32 MiB) fall back to
+the constant-rotation mode."""
+
+EXTEND_BLOCK_ROWS = 1024
+"""Row cap on the per-block scratch of :meth:`SlidingDFT.extend`, so a
+huge batch never materializes more than ``EXTEND_BLOCK_ROWS x K``
+temporaries at once."""
+
+NAIVE_KERNELS_ENV = "REPRO_NAIVE_KERNELS"
+"""Set (to anything non-empty) to force every new ``SlidingDFT`` into the
+historical per-update ``np.exp`` path -- the reference the equivalence
+tests and microbenchmarks compare against."""
+
+
+def _naive_kernels_forced() -> bool:
+    return bool(os.environ.get(NAIVE_KERNELS_ENV, ""))
 
 
 def low_frequency_bins(window_size: int, count: int) -> np.ndarray:
@@ -62,6 +114,11 @@ class SlidingDFT:
     Until the window first fills, slots are written in order (the window
     is conceptually zero-padded to W); once full, each arrival overwrites
     the oldest slot, applying the O(1) anchored update above.
+
+    ``mode`` selects the phase-row evaluation strategy: ``"auto"``
+    (default) picks ``"table"`` when the ``W x K`` twiddle table fits
+    under :data:`TWIDDLE_TABLE_MAX_ENTRIES` and ``"rotation"`` otherwise;
+    ``"naive"`` forces the historical per-update ``np.exp``.
     """
 
     def __init__(
@@ -69,6 +126,7 @@ class SlidingDFT:
         window_size: int,
         tracked_bins: Optional[Sequence[int]] = None,
         control: Optional[ControlVector] = None,
+        mode: str = "auto",
     ) -> None:
         if window_size < 1:
             raise SummaryError("window_size must be >= 1")
@@ -86,10 +144,31 @@ class SlidingDFT:
         self._buffer = np.zeros(window_size, dtype=np.float64)
         self._position = 0
         self._filled = 0
-        # Per-slot phases are cycled through in slot order; precomputing
-        # the full W x K table would cost O(W*K) memory, so compute the
-        # phase row for the current slot on demand from the base angles.
         self._base_angle = -2j * np.pi * bins / window_size
+        if mode == "auto":
+            if _naive_kernels_forced():
+                mode = "naive"
+            elif window_size * bins.size <= TWIDDLE_TABLE_MAX_ENTRIES:
+                mode = "table"
+            else:
+                mode = "rotation"
+        if mode not in ("table", "rotation", "naive"):
+            raise SummaryError("unknown SlidingDFT mode %r" % mode)
+        self.mode = mode
+        self._twiddles: Optional[np.ndarray] = None
+        self._rotation: Optional[np.ndarray] = None
+        self._phase: Optional[np.ndarray] = None
+        if mode == "table":
+            # One vectorized exp over the full W x K grid; row p equals
+            # exp(base_angle * p) bit-for-bit, i.e. exactly the phase row
+            # the per-update path would have produced.
+            self._twiddles = np.exp(
+                self._base_angle[None, :]
+                * np.arange(window_size, dtype=np.int64)[:, None]
+            )
+        elif mode == "rotation":
+            self._rotation = np.exp(self._base_angle)
+            self._phase = np.ones(bins.size, dtype=np.complex128)
         self.control = control if control is not None else ControlVector.default(window_size)
         self.updates_since_recompute = 0
         self.total_updates = 0
@@ -107,14 +186,39 @@ class SlidingDFT:
     def __len__(self) -> int:
         return self._filled
 
+    # ------------------------------------------------------------------
+    # phase rows
+    # ------------------------------------------------------------------
+
+    def _current_phase_row(self) -> np.ndarray:
+        """Phase row for the current slot (do not mutate)."""
+        if self.mode == "table":
+            return self._twiddles[self._position]
+        if self.mode == "rotation":
+            return self._phase
+        return np.exp(self._base_angle * self._position)
+
+    def _advance_position(self) -> None:
+        """Move to the next slot, maintaining the rotation-mode phase row."""
+        self._position = (self._position + 1) % self.window_size
+        if self.mode == "rotation":
+            if self._position == 0:
+                # Exact reset at wraparound: slot 0's row is exp(0) = 1.
+                self._phase = np.ones(self._bins.size, dtype=np.complex128)
+            else:
+                self._phase = self._phase * self._rotation
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+
     def update(self, value: float) -> None:
         """Write one sample into the circular buffer; update tracked bins."""
         value = float(value)
         old = self._buffer[self._position]
-        phase = np.exp(self._base_angle * self._position)
-        self._coefficients += (value - old) * phase
+        self._coefficients += (value - old) * self._current_phase_row()
         self._buffer[self._position] = value
-        self._position = (self._position + 1) % self.window_size
+        self._advance_position()
         if self._filled < self.window_size:
             self._filled += 1
         self.total_updates += 1
@@ -123,9 +227,83 @@ class SlidingDFT:
             self.recompute()
 
     def extend(self, values) -> None:
-        """Feed a batch of samples through :meth:`update`."""
-        for value in values:
-            self.update(value)
+        """Apply a batch of samples as vectorized block updates.
+
+        Bit-identical to ``for v in values: self.update(v)``: blocks are
+        split at slot-0 wraparound and at the drift-control boundary (so
+        full recomputations fire after exactly the same update they would
+        in the scalar loop), and each block's coefficient contributions
+        are reduced strictly in arrival order via ``np.add.accumulate``.
+        """
+        if self.mode == "naive":
+            for value in values:
+                self.update(value)
+            return
+        if isinstance(values, np.ndarray):
+            samples = values.astype(np.float64, copy=False).reshape(-1)
+        else:
+            # Accept any iterable (lists, tuples, generators) like the
+            # scalar loop would.
+            samples = np.fromiter(values, dtype=np.float64)
+        threshold = min(
+            self.control.recompute_interval, self.control.drift_safe_interval()
+        )
+        start = 0
+        total = samples.size
+        while start < total:
+            take = min(
+                total - start,
+                self.window_size - self._position,
+                # The scalar loop recomputes right after the update that
+                # reaches the threshold; max(1, ...) keeps that semantics
+                # even if a caller swapped in a tighter control mid-stream.
+                max(1, threshold - self.updates_since_recompute),
+                EXTEND_BLOCK_ROWS,
+            )
+            self._apply_block(samples[start : start + take])
+            start += take
+            if self.control.should_recompute(self.updates_since_recompute):
+                self.recompute()
+
+    def _apply_block(self, block: np.ndarray) -> None:
+        """One vectorized outer-product update over ``block.size`` slots.
+
+        The caller guarantees the block neither wraps past slot W-1 nor
+        crosses a drift-control boundary, so slot indices are distinct
+        and consecutive.
+        """
+        n = block.size
+        positions = np.arange(self._position, self._position + n)
+        if self.mode == "table":
+            phases = self._twiddles[positions]
+        else:
+            # Rotation mode: derive each row with the same single multiply
+            # the scalar path performs, so the chain stays bit-identical.
+            phases = np.empty((n, self._bins.size), dtype=np.complex128)
+            row = self._phase
+            for index in range(n):
+                phases[index] = row
+                row = row * self._rotation
+        deltas = block - self._buffer[positions]
+        # Strictly-ordered reduction: seed row 0 with the current
+        # coefficients and let add.accumulate fold the per-sample
+        # contributions left to right, exactly like the scalar loop's
+        # sequence of += operations (ufunc.accumulate never reassociates).
+        scratch = np.empty((n + 1, self._bins.size), dtype=np.complex128)
+        scratch[0] = self._coefficients
+        np.multiply(deltas[:, None], phases, out=scratch[1:])
+        np.add.accumulate(scratch, axis=0, out=scratch)
+        self._coefficients = scratch[-1].copy()
+        self._buffer[positions] = block
+        self._position = (self._position + n) % self.window_size
+        if self.mode == "rotation":
+            if self._position == 0:
+                self._phase = np.ones(self._bins.size, dtype=np.complex128)
+            else:
+                self._phase = phases[-1] * self._rotation
+        self._filled = min(self.window_size, self._filled + n)
+        self.total_updates += n
+        self.updates_since_recompute += n
 
     def recompute(self) -> None:
         """Exact recomputation of the tracked bins from the stored buffer.
@@ -141,6 +319,15 @@ class SlidingDFT:
     def coefficients(self) -> np.ndarray:
         """Current tracked coefficients (copy), aligned with :attr:`bins`."""
         return self._coefficients.copy()
+
+    def coefficient_view(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Zero-copy ``(bins, coefficients)`` view for internal callers.
+
+        Both arrays are the live state: treat them as read-only and do
+        not hold them across further updates (the coefficient array is
+        replaced, not mutated, by batch updates and recomputation).
+        """
+        return self._bins, self._coefficients
 
     def coefficient_map(self) -> Dict[int, complex]:
         """``{bin_index: coefficient}`` for the tracked bins."""

@@ -19,7 +19,6 @@ maintenance steps at window size W --
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
@@ -29,6 +28,7 @@ from repro._rng import ensure_rng
 from repro.dft.control import ControlVector
 from repro.dft.sliding import SlidingDFT, low_frequency_bins
 from repro.experiments.reporting import format_table
+from repro.profiling import Stopwatch
 from repro.sketches.agms import AgmsSketch, SketchShape
 
 DEFAULT_WINDOWS = (8_000, 25_000, 50_000, 100_000)
@@ -37,12 +37,20 @@ DEFAULT_WINDOWS = (8_000, 25_000, 50_000, 100_000)
 
 @dataclass(frozen=True)
 class Table1Row:
-    """One row of Table 1 (seconds of CPU time)."""
+    """One row of Table 1 (seconds of CPU time).
+
+    ``*_seconds`` are wall-clock, ``*_cpu_seconds`` are process CPU time
+    over the same interval (the paper reports CPU seconds; on an
+    otherwise-idle machine the two track each other closely).
+    """
 
     window_size: int
     full_dft_seconds: float
     incremental_dft_seconds: float
     agms_seconds: float
+    full_dft_cpu_seconds: float = 0.0
+    incremental_dft_cpu_seconds: float = 0.0
+    agms_cpu_seconds: float = 0.0
 
     @property
     def speedup_incremental(self) -> float:
@@ -51,18 +59,18 @@ class Table1Row:
         return self.full_dft_seconds / self.incremental_dft_seconds
 
 
-def _time_full_dft(signal: np.ndarray, window: int, updates: int) -> float:
+def _time_full_dft(signal: np.ndarray, window: int, updates: int) -> Stopwatch:
     """Full FFT recomputation per arriving tuple."""
-    start = time.perf_counter()
-    for index in range(updates):
-        segment = signal[index : index + window]
-        np.fft.fft(segment)
-    return time.perf_counter() - start
+    with Stopwatch() as watch:
+        for index in range(updates):
+            segment = signal[index : index + window]
+            np.fft.fft(segment)
+    return watch
 
 
 def _time_incremental_dft(
     signal: np.ndarray, window: int, updates: int, kappa: int
-) -> float:
+) -> Stopwatch:
     bins = low_frequency_bins(window, max(1, window // kappa))
     sliding = SlidingDFT(
         window,
@@ -70,22 +78,24 @@ def _time_incremental_dft(
         control=ControlVector.default(window),
     )
     sliding.extend(signal[:window])
-    start = time.perf_counter()
-    for value in signal[window : window + updates]:
-        sliding.update(float(value))
-    return time.perf_counter() - start
+    with Stopwatch() as watch:
+        for value in signal[window : window + updates]:
+            sliding.update(float(value))
+    return watch
 
 
-def _time_agms(signal: np.ndarray, window: int, updates: int, kappa: int, rng) -> float:
+def _time_agms(
+    signal: np.ndarray, window: int, updates: int, kappa: int, rng
+) -> Stopwatch:
     shape = SketchShape.from_total(max(5, (window // kappa) * 5))
     sketch = AgmsSketch(shape, rng=rng)
     for value in signal[:window]:
         sketch.update(int(value), +1)
-    start = time.perf_counter()
-    for index in range(updates):
-        sketch.update(int(signal[window + index]), +1)
-        sketch.update(int(signal[index]), -1)
-    return time.perf_counter() - start
+    with Stopwatch() as watch:
+        for index in range(updates):
+            sketch.update(int(signal[window + index]), +1)
+            sketch.update(int(signal[index]), -1)
+    return watch
 
 
 def run(
@@ -99,14 +109,18 @@ def run(
     rows = []
     for window in windows:
         signal = rng.integers(1, 2**19, size=window + updates).astype(np.float64)
+        full = _time_full_dft(signal, window, updates)
+        incremental = _time_incremental_dft(signal, window, updates, kappa)
+        agms = _time_agms(signal, window, updates, kappa, rng)
         rows.append(
             Table1Row(
                 window_size=window,
-                full_dft_seconds=_time_full_dft(signal, window, updates),
-                incremental_dft_seconds=_time_incremental_dft(
-                    signal, window, updates, kappa
-                ),
-                agms_seconds=_time_agms(signal, window, updates, kappa, rng),
+                full_dft_seconds=full.wall_seconds,
+                incremental_dft_seconds=incremental.wall_seconds,
+                agms_seconds=agms.wall_seconds,
+                full_dft_cpu_seconds=full.cpu_seconds,
+                incremental_dft_cpu_seconds=incremental.cpu_seconds,
+                agms_cpu_seconds=agms.cpu_seconds,
             )
         )
     return rows
@@ -115,13 +129,15 @@ def run(
 def format_result(rows: Sequence[Table1Row]) -> str:
     """Render the measured Table 1."""
     return format_table(
-        ["W", "DFT (s)", "iDFT (s)", "AGMS (s)", "DFT/iDFT"],
+        ["W", "DFT (s)", "iDFT (s)", "AGMS (s)", "iDFT cpu", "AGMS cpu", "DFT/iDFT"],
         [
             (
                 row.window_size,
                 row.full_dft_seconds,
                 row.incremental_dft_seconds,
                 row.agms_seconds,
+                row.incremental_dft_cpu_seconds,
+                row.agms_cpu_seconds,
                 row.speedup_incremental,
             )
             for row in rows

@@ -34,14 +34,30 @@ class Event:
     sequence: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    owner: Optional["EventScheduler"] = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the scheduler skips it when its time comes."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.owner is not None:
+            self.owner._note_cancelled()
 
 
 class EventScheduler:
-    """Priority-queue event loop with a monotone simulated clock."""
+    """Priority-queue event loop with a monotone simulated clock.
+
+    Cancelled events are not left to rot in the heap: the scheduler
+    counts them, reports :attr:`pending` as *live* events only, and
+    compacts the heap whenever cancelled entries outnumber live ones --
+    a retransmit-heavy reliable-transport run would otherwise grow the
+    queue without bound.
+    """
+
+    COMPACTION_MIN_QUEUE = 64
+    """Skip compaction below this queue length; rebuilding tiny heaps
+    costs more than the dead entries do."""
 
     def __init__(self) -> None:
         self._queue: list[Event] = []
@@ -49,6 +65,8 @@ class EventScheduler:
         self._now = 0.0
         self._running = False
         self._events_processed = 0
+        self._cancelled_pending = 0
+        self.compactions = 0
 
     @property
     def now(self) -> float:
@@ -62,8 +80,23 @@ class EventScheduler:
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return len(self._queue)
+        """Number of live (non-cancelled) events still queued."""
+        return len(self._queue) - self._cancelled_pending
+
+    def _note_cancelled(self) -> None:
+        self._cancelled_pending += 1
+        if (
+            len(self._queue) >= self.COMPACTION_MIN_QUEUE
+            and self._cancelled_pending > len(self._queue) // 2
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify the survivors."""
+        self._queue = [event for event in self._queue if not event.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_pending = 0
+        self.compactions += 1
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` at absolute simulated ``time``.
@@ -74,7 +107,9 @@ class EventScheduler:
             raise SimulationError(
                 "cannot schedule at t=%g; clock is already at t=%g" % (time, self._now)
             )
-        event = Event(time=time, sequence=next(self._sequence), callback=callback)
+        event = Event(
+            time=time, sequence=next(self._sequence), callback=callback, owner=self
+        )
         heapq.heappush(self._queue, event)
         return event
 
@@ -104,6 +139,7 @@ class EventScheduler:
                     break
                 heapq.heappop(self._queue)
                 if event.cancelled:
+                    self._cancelled_pending -= 1
                     continue
                 self._now = event.time
                 event.callback()
@@ -123,6 +159,7 @@ class EventScheduler:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._cancelled_pending -= 1
                 continue
             self._now = event.time
             event.callback()

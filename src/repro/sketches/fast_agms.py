@@ -84,6 +84,36 @@ class FastAgmsSketch:
         self._counters[np.arange(self.shape.rows), buckets] += delta * signs
         self.updates += 1
 
+    def update_batch(self, keys, deltas=None) -> None:
+        """Apply a block of frequency changes in one vectorized pass.
+
+        Deltas of duplicate keys are grouped first; each surviving
+        distinct key then scatters one signed increment per row with
+        ``np.add.at`` (which handles colliding buckets).  All arithmetic
+        is exact integers in float64, so the counters are bit-identical
+        to the equivalent sequence of :meth:`update` calls.
+        """
+        keys = np.asarray(keys, dtype=np.int64).reshape(-1)
+        if keys.size == 0:
+            return
+        if deltas is None:
+            deltas = np.ones(keys.size, dtype=np.float64)
+        else:
+            deltas = np.asarray(deltas, dtype=np.float64).reshape(-1)
+            if deltas.shape != keys.shape:
+                raise SummaryError("keys and deltas must have equal length")
+        live = deltas != 0
+        unique, inverse = np.unique(keys[live], return_inverse=True)
+        if unique.size:
+            net = np.bincount(inverse, weights=deltas[live], minlength=unique.size)
+            buckets = self._bucket_hashes.buckets_matrix(unique, self.shape.buckets)
+            signs = self._sign_hashes.signs_matrix(unique)
+            rows = np.broadcast_to(
+                np.arange(self.shape.rows), (unique.size, self.shape.rows)
+            )
+            np.add.at(self._counters, (rows, buckets), net[:, None] * signs)
+        self.updates += int(np.count_nonzero(live))
+
     def counters(self) -> np.ndarray:
         """Counter matrix, shape (rows, buckets) (copy)."""
         return self._counters.copy()

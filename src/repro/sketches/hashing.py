@@ -11,9 +11,24 @@ Evaluation uses Horner's rule so every intermediate product of two values
 below ``p = 2**31 - 1`` fits comfortably in int64, which lets a whole bank
 of hash rows evaluate in a handful of vectorized numpy operations per
 update.
+
+Because sliding windows evict exactly the keys they inserted, the same
+key is hashed at least twice (arrival and eviction) and usually many more
+times under skew, so the family keeps a small LRU cache of sign vectors:
+a hit replaces the three modular Horner steps with one dict lookup.  The
+cache is capacity-bounded (:data:`DEFAULT_SIGN_CACHE_SIZE` entries) and
+can be disabled outright with ``cache_size=0`` or globally via the
+``REPRO_NAIVE_KERNELS`` environment variable (the reference configuration
+the equivalence tests and microbenchmarks compare against).  Cached
+vectors are produced by the identical arithmetic, so hits and misses are
+bit-indistinguishable.
 """
 
 from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Optional
 
 import numpy as np
 
@@ -23,11 +38,21 @@ from repro.errors import SummaryError
 MERSENNE_PRIME_31 = (1 << 31) - 1
 """Field modulus; keys and coefficients live in [0, p)."""
 
+DEFAULT_SIGN_CACHE_SIZE = 4096
+"""Per-family LRU capacity: int8 sign vectors, so a full cache of a
+1000-row bank costs ~4 MB."""
+
 
 class FourWiseHashFamily:
     """A bank of independent degree-3 polynomial hash rows."""
 
-    def __init__(self, rows: int, rng=None, prime: int = MERSENNE_PRIME_31) -> None:
+    def __init__(
+        self,
+        rows: int,
+        rng=None,
+        prime: int = MERSENNE_PRIME_31,
+        cache_size: Optional[int] = None,
+    ) -> None:
         if rows < 1:
             raise SummaryError("need at least one hash row")
         if prime < 3:
@@ -37,6 +62,16 @@ class FourWiseHashFamily:
         generator = ensure_rng(rng)
         # Shape (rows, 4): highest-degree coefficient first (Horner order).
         self._coefficients = generator.integers(0, prime, size=(rows, 4), dtype=np.int64)
+        if cache_size is None:
+            cache_size = 0 if os.environ.get("REPRO_NAIVE_KERNELS", "") else (
+                DEFAULT_SIGN_CACHE_SIZE
+            )
+        if cache_size < 0:
+            raise SummaryError("cache_size must be non-negative")
+        self.cache_size = cache_size
+        self._sign_cache: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def raw(self, key: int) -> np.ndarray:
         """Polynomial value per row, in ``[0, prime)``."""
@@ -46,12 +81,83 @@ class FourWiseHashFamily:
             acc = (acc * x + self._coefficients[:, degree]) % self.prime
         return acc
 
+    def raw_matrix(self, keys) -> np.ndarray:
+        """Polynomial values for a key vector: shape ``(len(keys), rows)``.
+
+        Same Horner recurrence as :meth:`raw`, broadcast over keys; all
+        intermediates stay below ``p**2 < 2**62`` so int64 never wraps.
+        """
+        x = np.asarray(keys, dtype=np.int64).reshape(-1) % self.prime
+        acc = np.broadcast_to(self._coefficients[:, 0], (x.size, self.rows)).copy()
+        for degree in range(1, 4):
+            acc = (acc * x[:, None] + self._coefficients[:, degree]) % self.prime
+        return acc
+
     def signs(self, key: int) -> np.ndarray:
-        """The +/-1 variable xi(key) per row (int8 array of +-1)."""
-        return np.where(self.raw(key) & 1, 1, -1).astype(np.int8)
+        """The +/-1 variable xi(key) per row (int8 array of +-1).
+
+        The returned array is read-only when it came from (or entered)
+        the LRU cache; copy before mutating.
+        """
+        key = int(key)
+        if self.cache_size:
+            cached = self._sign_cache.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                self._sign_cache.move_to_end(key)
+                return cached
+        vector = np.where(self.raw(key) & 1, 1, -1).astype(np.int8)
+        if self.cache_size:
+            self.cache_misses += 1
+            vector.flags.writeable = False
+            self._sign_cache[key] = vector
+            if len(self._sign_cache) > self.cache_size:
+                self._sign_cache.popitem(last=False)
+        return vector
+
+    def signs_matrix(self, keys) -> np.ndarray:
+        """Sign vectors for a key vector: int8 of shape ``(len(keys), rows)``.
+
+        Serves each row from the LRU cache when present; misses are
+        evaluated in one vectorized Horner pass and inserted.
+        """
+        keys = np.asarray(keys, dtype=np.int64).reshape(-1)
+        out = np.empty((keys.size, self.rows), dtype=np.int8)
+        if not self.cache_size:
+            np.subtract(
+                (self.raw_matrix(keys) & 1) << 1, 1, out=out, casting="unsafe"
+            )
+            return out
+        miss_indices = []
+        for index, key in enumerate(keys):
+            cached = self._sign_cache.get(int(key))
+            if cached is not None:
+                self.cache_hits += 1
+                self._sign_cache.move_to_end(int(key))
+                out[index] = cached
+            else:
+                miss_indices.append(index)
+        if miss_indices:
+            missed = keys[miss_indices]
+            fresh = np.where(self.raw_matrix(missed) & 1, 1, -1).astype(np.int8)
+            for slot, index in enumerate(miss_indices):
+                vector = fresh[slot].copy()
+                vector.flags.writeable = False
+                self.cache_misses += 1
+                self._sign_cache[int(keys[index])] = vector
+                out[index] = vector
+            while len(self._sign_cache) > self.cache_size:
+                self._sign_cache.popitem(last=False)
+        return out
 
     def buckets(self, key: int, num_buckets: int) -> np.ndarray:
         """Row-wise bucket index in ``[0, num_buckets)`` (for hash sketches)."""
         if num_buckets < 1:
             raise SummaryError("num_buckets must be >= 1")
         return self.raw(key) % num_buckets
+
+    def buckets_matrix(self, keys, num_buckets: int) -> np.ndarray:
+        """Bucket indices for a key vector: shape ``(len(keys), rows)``."""
+        if num_buckets < 1:
+            raise SummaryError("num_buckets must be >= 1")
+        return self.raw_matrix(keys) % num_buckets

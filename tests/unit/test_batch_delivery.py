@@ -1,0 +1,105 @@
+"""Unit tests for coalesced (same-timestamp) local arrival batches."""
+
+import numpy as np
+
+from repro.config import Algorithm, PolicyConfig, SystemConfig, WorkloadConfig
+from repro.core.system import DistributedJoinSystem, run_experiment
+from repro.profiling import KernelProfiler
+from repro.streams.tuples import StreamId, StreamTuple
+
+
+def small_config(algorithm=Algorithm.DFTT, **overrides):
+    defaults = dict(
+        num_nodes=3,
+        window_size=64,
+        policy=PolicyConfig(algorithm=algorithm, kappa=4.0),
+        workload=WorkloadConfig(total_tuples=600, domain=256, arrival_rate=200.0),
+        seed=5,
+    )
+    defaults.update(overrides)
+    return SystemConfig(**defaults)
+
+
+def make_batch(node_id, keys, stream=StreamId.R, start_index=0):
+    return tuple(
+        StreamTuple(
+            stream=stream,
+            key=int(key),
+            origin_node=node_id,
+            arrival_index=start_index + offset,
+        )
+        for offset, key in enumerate(keys)
+    )
+
+
+def test_batch_arrivals_are_ingested_and_serviced():
+    system = DistributedJoinSystem(small_config())
+    node = system.nodes[0]
+    batch = make_batch(0, [3, 7, 3, 11, 7])
+    node.on_local_arrivals(batch)
+    system.scheduler.run()
+    assert node.tuples_processed == len(batch)
+    assert node.policy.tuples_seen == len(batch)
+    window = node.join.window(StreamId.R)
+    assert sorted(t.key for t in window) == [3, 3, 7, 7, 11]
+    assert node.oracle.tuples_observed == len(batch)
+
+
+def test_batch_service_time_is_per_tuple():
+    config = small_config()
+    system = DistributedJoinSystem(config)
+    node = system.nodes[0]
+    batch = make_batch(0, list(range(8)))
+    node.on_local_arrivals(batch)
+    system.scheduler.run()
+    assert node.busy_seconds >= len(batch) * config.cpu_seconds_per_tuple
+
+
+def test_empty_and_singleton_batches():
+    system = DistributedJoinSystem(small_config())
+    node = system.nodes[0]
+    node.on_local_arrivals(())
+    assert node.queue_depth == 0
+    node.on_local_arrivals(make_batch(0, [9]))
+    system.scheduler.run()
+    assert node.tuples_processed == 1
+
+
+def test_batch_matches_produce_results():
+    """An R and an S tuple with the same key arriving together join."""
+    system = DistributedJoinSystem(small_config(algorithm=Algorithm.BASE))
+    node = system.nodes[0]
+    r = make_batch(0, [42], stream=StreamId.R, start_index=0)
+    s = make_batch(0, [42], stream=StreamId.S, start_index=1)
+    node.on_local_arrivals(r + s)
+    system.scheduler.run()
+    assert node.collector.reported_pairs == 1
+
+
+def test_sketch_policy_batch_counters_match_scalar():
+    """The batched SKCH ingest leaves the same sketch state as the
+    scalar loop applied to the same arrivals."""
+    batch_system = DistributedJoinSystem(small_config(algorithm=Algorithm.SKCH))
+    scalar_system = DistributedJoinSystem(small_config(algorithm=Algorithm.SKCH))
+    keys = [5, 9, 5, 130, 9, 9, 77]
+    batch_node = batch_system.nodes[0]
+    scalar_node = scalar_system.nodes[0]
+    batch_node.on_local_arrivals(make_batch(0, keys))
+    for item in make_batch(0, keys):
+        scalar_node.on_local_arrival(item)
+    batch_system.scheduler.run()
+    scalar_system.scheduler.run()
+    assert np.array_equal(
+        batch_node.policy.sketches[StreamId.R].snapshot_counters(),
+        scalar_node.policy.sketches[StreamId.R].snapshot_counters(),
+    )
+
+
+def test_profiled_run_populates_result_profile():
+    profiler = KernelProfiler()
+    result = run_experiment(small_config(), profiler=profiler)
+    assert "system.run" in result.profile
+    assert "node.local" in result.profile
+    assert result.profile["node.local"]["items"] > 0
+    # Unprofiled runs carry no accounting at all.
+    assert run_experiment(small_config()).profile == {}

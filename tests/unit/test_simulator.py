@@ -119,6 +119,62 @@ def test_events_scheduled_during_run_are_processed():
     assert scheduler.now == 3.0
 
 
+def test_pending_counts_only_live_events():
+    scheduler = EventScheduler()
+    events = [scheduler.schedule_at(float(i + 1), lambda: None) for i in range(4)]
+    assert scheduler.pending == 4
+    events[0].cancel()
+    events[2].cancel()
+    assert scheduler.pending == 2
+
+
+def test_cancel_is_idempotent_for_accounting():
+    scheduler = EventScheduler()
+    event = scheduler.schedule_at(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    assert scheduler.pending == 0
+
+
+def test_cancelled_majority_triggers_compaction():
+    scheduler = EventScheduler()
+    size = EventScheduler.COMPACTION_MIN_QUEUE * 2
+    events = [scheduler.schedule_at(float(i + 1), lambda: None) for i in range(size)]
+    assert scheduler.compactions == 0
+    for event in events[: size // 2 + 1]:
+        event.cancel()
+    assert scheduler.compactions == 1
+    # Heap now holds only the live survivors.
+    assert scheduler.pending == size - (size // 2 + 1)
+    assert len(scheduler._queue) == scheduler.pending
+
+
+def test_small_queues_are_not_compacted():
+    scheduler = EventScheduler()
+    events = [scheduler.schedule_at(float(i + 1), lambda: None) for i in range(8)]
+    for event in events:
+        event.cancel()
+    assert scheduler.compactions == 0
+    assert scheduler.pending == 0
+
+
+def test_compaction_preserves_execution_order():
+    scheduler = EventScheduler()
+    size = EventScheduler.COMPACTION_MIN_QUEUE * 2
+    fired = []
+    events = []
+    for i in range(size):
+        events.append(
+            scheduler.schedule_at(float(i + 1), lambda i=i: fired.append(i))
+        )
+    cancelled = set(range(0, size, 2)) | {1, 3, 5}
+    for index in sorted(cancelled):
+        events[index].cancel()
+    assert scheduler.compactions >= 1
+    scheduler.run()
+    assert fired == [i for i in range(size) if i not in cancelled]
+
+
 def test_reentrant_run_rejected():
     scheduler = EventScheduler()
     errors = []
