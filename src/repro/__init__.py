@@ -46,6 +46,7 @@ from repro.errors import (
     SummaryError,
     WindowError,
 )
+from repro.telemetry.settings import TelemetrySettings
 
 __version__ = "1.0.0"
 
@@ -59,6 +60,7 @@ __all__ = [
     "FlowController",
     "FlowSettings",
     "RunResult",
+    "TelemetrySettings",
     "DistributedJoinSystem",
     "run_experiment",
     "ReproError",

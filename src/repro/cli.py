@@ -27,7 +27,7 @@ from repro.config import (
     WorkloadKind,
 )
 from repro.core.flow import FlowSettings
-from repro.core.system import run_experiment
+from repro.core.system import DistributedJoinSystem
 from repro.errors import ReproError
 
 
@@ -102,6 +102,32 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["", "broadcast", "suppress"],
         help="what to do with tuples for stale/suspected peers (implies --reliable)",
     )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="enable the telemetry subsystem (metrics, events, traces)",
+    )
+    parser.add_argument(
+        "--telemetry-export",
+        default="",
+        metavar="DIR",
+        help="write all telemetry export formats (JSONL, Chrome trace, "
+        "Prometheus text, CSV, manifest) into DIR (implies --telemetry)",
+    )
+    parser.add_argument(
+        "--telemetry-sample",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="registry sampling interval in simulated seconds "
+        "(implies --telemetry; default 1.0)",
+    )
+    parser.add_argument(
+        "--dashboard",
+        action="store_true",
+        help="render the ASCII live dashboard to stderr during the run "
+        "(implies --telemetry)",
+    )
     parser.add_argument("--seed", type=int, default=0, help="random seed")
     parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
     parser.add_argument("--verbose", action="store_true", help="per-node diagnostics")
@@ -152,6 +178,24 @@ def config_from_args(args: argparse.Namespace) -> SystemConfig:
         if reliable
         else ReliabilitySettings()
     )
+    from repro.telemetry import TelemetrySettings
+
+    telemetry_on = (
+        args.telemetry
+        or bool(args.telemetry_export)
+        or args.telemetry_sample is not None
+        or args.dashboard
+    )
+    telemetry_overrides = {"enabled": True, "dashboard": args.dashboard}
+    if args.telemetry_sample is not None:
+        # An explicit bad value (0, negative) flows through to
+        # TelemetrySettings.validate() and exits 2 like any config error.
+        telemetry_overrides["sample_interval_s"] = args.telemetry_sample
+    telemetry = (
+        dataclasses.replace(TelemetrySettings(), **telemetry_overrides)
+        if telemetry_on
+        else TelemetrySettings()
+    )
     return SystemConfig(
         num_nodes=args.nodes,
         window_size=args.window,
@@ -176,6 +220,7 @@ def config_from_args(args: argparse.Namespace) -> SystemConfig:
         ),
         reliability=reliability,
         faults=faults,
+        telemetry=telemetry,
         seed=args.seed,
     )
 
@@ -191,11 +236,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             from repro.profiling import KernelProfiler, profile_call
 
             profiler = KernelProfiler()
-            result, profile_report = profile_call(
-                lambda: run_experiment(config, profiler=profiler), top=args.profile
-            )
+            system = DistributedJoinSystem(config, profiler=profiler)
+            result, profile_report = profile_call(system.run, top=args.profile)
         else:
-            result = run_experiment(config)
+            system = DistributedJoinSystem(config)
+            result = system.run()
+        export_paths = {}
+        if args.telemetry_export:
+            from repro.telemetry import export_all
+
+            export_paths = export_all(
+                system.telemetry,
+                args.telemetry_export,
+                manifest=result.manifest,
+                profiler=profiler,
+            )
     except ReproError as error:
         print("error: %s" % error, file=sys.stderr)
         return 2
@@ -212,6 +267,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             payload["faults"] = result.faults
         if result.profile:
             payload["profile"] = result.profile
+        if result.telemetry:
+            payload["telemetry"] = result.telemetry
+        if export_paths:
+            payload["telemetry_exports"] = {
+                kind: str(path) for kind, path in sorted(export_paths.items())
+            }
         if args.verbose:
             payload["node_diagnostics"] = {
                 str(node): diag for node, diag in result.node_diagnostics.items()
@@ -243,6 +304,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             result.retransmits, int(result.reliability.get("delivery_failures", 0))))
         print("failures seen    %d (%d recoveries)" % (
             result.failures_detected, int(result.reliability.get("recoveries", 0))))
+    if result.telemetry:
+        print("telemetry        %d events, %d samples, %d instruments" % (
+            int(result.telemetry.get("events_emitted", 0)),
+            int(result.telemetry.get("samples_taken", 0)),
+            int(result.telemetry.get("instruments", 0))))
+    for kind in sorted(export_paths):
+        print("exported %-8s %s" % (kind, export_paths[kind]))
     if args.verbose:
         for node, diagnostics in sorted(result.node_diagnostics.items()):
             print("node %d:" % node)

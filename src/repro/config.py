@@ -27,6 +27,7 @@ from repro.errors import ConfigurationError
 from repro.net.faults import FaultPlan
 from repro.net.link import LinkSpec
 from repro.net.reliable import ReliabilitySettings
+from repro.telemetry.settings import TelemetrySettings
 
 
 class Algorithm(enum.Enum):
@@ -214,6 +215,10 @@ class SystemConfig:
     faults: FaultPlan = field(default_factory=FaultPlan)
     """Deterministic fault schedule (empty by default: a healthy WAN)."""
 
+    telemetry: TelemetrySettings = field(default_factory=TelemetrySettings)
+    """Metrics/tracing/dashboard knobs (off by default; see
+    :mod:`repro.telemetry`)."""
+
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -256,6 +261,7 @@ class SystemConfig:
         self.link.validate()
         self.reliability.validate()
         self.faults.validate(self.num_nodes)
+        self.telemetry.validate()
 
     @property
     def effective_shadow_window(self) -> int:
@@ -283,5 +289,6 @@ class SystemConfig:
             "spread": self.workload.spread,
             "reliability_enabled": self.reliability.enabled,
             "fault_events": len(self.faults.events),
+            "telemetry_enabled": self.telemetry.enabled,
             "seed": self.seed,
         }

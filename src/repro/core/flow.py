@@ -130,6 +130,11 @@ class FlowController:
         self.last_weight = 0.0
         self.uniform_detections = 0
         self.congestion_scale = 1.0
+        self.telemetry = None
+        """Optional :class:`repro.telemetry.TelemetryHub` (wired by the
+        owning policy's ``attach_telemetry``)."""
+        self.telemetry_node = None
+        self._uniform_counter = None
 
     @property
     def budget(self) -> float:
@@ -219,4 +224,13 @@ class FlowController:
         uniform = variance < self.settings.uniform_variance_threshold
         if uniform:
             self.uniform_detections += 1
+            if self.telemetry is not None:
+                # Detections fire per forwarding decision; a counter keeps
+                # the cost at one increment instead of one event per tuple.
+                if self._uniform_counter is None:
+                    self._uniform_counter = self.telemetry.registry.counter(
+                        "repro_flow_uniform_detections_total",
+                        node=self.telemetry_node,
+                    )
+                self._uniform_counter.inc()
         return uniform

@@ -55,6 +55,9 @@ class PeerHealthMonitor:
         self.recoveries = 0
         self.recovery_latencies: List[float] = []
         self.staleness_histogram: List[int] = [0] * (len(STALENESS_BUCKETS_S) + 1)
+        self.telemetry = None
+        """Optional :class:`repro.telemetry.TelemetryHub`; suspicion and
+        recovery transitions are emitted as health events when set."""
 
     # ------------------------------------------------------------------
     # signal ingestion
@@ -69,6 +72,15 @@ class PeerHealthMonitor:
         if suspected_at is not None:
             self.recoveries += 1
             self.recovery_latencies.append(now - suspected_at)
+            if self.telemetry is not None:
+                self.telemetry.emit(
+                    "health.recovered",
+                    category="health",
+                    node=self.node_id,
+                    time=now,
+                    peer=peer,
+                    latency_s=now - suspected_at,
+                )
             # Give the peer a staleness grace period: a resync is on its
             # way (triggered below), and judging the peer stale the very
             # tick it came back would flap the degradation state.
@@ -92,6 +104,15 @@ class PeerHealthMonitor:
         if now - self._last_heard[peer] > self.settings.suspect_timeout_s:
             self._suspected_at[peer] = now
             self.failures_detected += 1
+            if self.telemetry is not None:
+                self.telemetry.emit(
+                    "health.suspected",
+                    category="health",
+                    node=self.node_id,
+                    time=now,
+                    peer=peer,
+                    silent_s=now - self._last_heard[peer],
+                )
             return True
         return False
 

@@ -74,6 +74,7 @@ class JoinProcessingNode:
         transport: Optional[ReliableTransport] = None,
         fault_injector=None,
         profiler=None,
+        telemetry=None,
     ) -> None:
         self.node_id = node_id
         self.config = config
@@ -107,6 +108,20 @@ class JoinProcessingNode:
             peers = tuple(p for p in range(config.num_nodes) if p != node_id)
             self.health = PeerHealthMonitor(
                 node_id, peers, transport.settings, on_recovery=self._on_peer_recovered
+            )
+        self.telemetry = telemetry
+        """Optional :class:`~repro.telemetry.TelemetryHub`; every service
+        becomes a span and fan-out decisions feed a histogram.  Handles
+        are cached here so the hot path pays one ``None`` check when
+        telemetry is off and one method call when it is on."""
+        self._fanout_histogram = None
+        if telemetry is not None:
+            if self.health is not None:
+                self.health.telemetry = telemetry
+            self._fanout_histogram = telemetry.registry.histogram(
+                "repro_node_fanout",
+                edges=(0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0),
+                node=node_id,
             )
 
     # ------------------------------------------------------------------
@@ -242,6 +257,17 @@ class JoinProcessingNode:
             with self.profiler.section("node.%s" % kind, items=items):
                 service_time = self._dispatch(kind, payload)
         self.busy_seconds += service_time
+        if self.telemetry is not None:
+            # The service time is known synchronously, so one complete
+            # span per service -- no begin/end pairing to reconcile.
+            self.telemetry.emit(
+                "node.service",
+                category="node",
+                node=self.node_id,
+                time=self.scheduler.now,
+                dur_s=service_time,
+                kind=kind,
+            )
         self.scheduler.schedule_in(service_time, self._finish_service)
 
     def _dispatch(self, kind: str, payload: object) -> float:
@@ -324,6 +350,8 @@ class JoinProcessingNode:
         runtime.policy.observe_congestion(len(self._queue))
         destinations = runtime.policy.choose_destinations(item)
         destinations = self._apply_degradation(runtime, destinations, now)
+        if self._fanout_histogram is not None:
+            self._fanout_histogram.observe(float(len(destinations)))
 
         transmission_seconds = result_pause
         for destination in destinations:
@@ -373,6 +401,8 @@ class JoinProcessingNode:
                 transmission_seconds += self._report_results(runtime, results, now)
                 destinations = runtime.policy.choose_destinations(item)
                 destinations = self._apply_degradation(runtime, destinations, now)
+                if self._fanout_histogram is not None:
+                    self._fanout_histogram.observe(float(len(destinations)))
                 for destination in destinations:
                     transmission_seconds += self._send_tuple(item, destination, now)
         transmission_seconds += self._flush_stale_summaries(now)

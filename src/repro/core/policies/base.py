@@ -62,6 +62,27 @@ class ForwardingPolicy(abc.ABC):
         self.tuples_seen = 0
         self.fallback_decisions = 0
         self.congestion_scale = 1.0
+        self.telemetry = None
+        """Optional :class:`repro.telemetry.TelemetryHub` (see
+        :meth:`attach_telemetry`)."""
+
+    def attach_telemetry(self, hub) -> None:
+        """Wire a telemetry hub through the policy and its components.
+
+        Summary managers and the flow controller (when the policy has
+        them -- DFTT/BLOOM/SKETCH do, BASE and round-robin do not) get
+        the hub and the owning node id, so their emissions carry the
+        right node label without each component knowing its host.
+        """
+        node = self.context.node_id
+        self.telemetry = hub
+        for manager in getattr(self, "managers", {}).values():
+            manager.telemetry = hub
+            manager.telemetry_node = node
+        controller = getattr(self, "flow", None)
+        if controller is not None:
+            controller.telemetry = hub
+            controller.telemetry_node = node
 
     @property
     def node_id(self) -> int:

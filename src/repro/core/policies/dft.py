@@ -180,10 +180,16 @@ class DftPolicy(ForwardingPolicy):
             len(known) == len(self.peer_ids)
             and self.tuples_seen >= self.context.window_size
         )
-        if mature and self.flow.is_uniform_worst_case(similarities):
-            self.worst_case_mode = True
-        else:
-            self.worst_case_mode = False
+        worst_case = mature and self.flow.is_uniform_worst_case(similarities)
+        if worst_case != self.worst_case_mode and self.telemetry is not None:
+            self.telemetry.emit(
+                "policy.worst_case_mode",
+                category="policy",
+                node=self.node_id,
+                stream=stream.value,
+                active=worst_case,
+            )
+        self.worst_case_mode = worst_case
         probabilities = self.flow.probabilities(similarities)
         self._cached_probabilities[stream] = probabilities
         return probabilities

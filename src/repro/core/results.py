@@ -48,6 +48,15 @@ class RunResult:
     from the :class:`~repro.profiling.KernelProfiler` the run was handed.
     Empty -- and zero-overhead -- when no profiler was attached."""
 
+    manifest: Dict[str, object] = field(default_factory=dict)
+    """Run provenance (seed, package version, kernel mode, config echo)
+    from :func:`repro.telemetry.manifest.build_manifest`; attached to
+    every run whether or not telemetry is enabled."""
+
+    telemetry: Dict[str, float] = field(default_factory=dict)
+    """Telemetry-hub totals (events by category, samples taken,
+    instrument count).  Empty when telemetry is disabled."""
+
     @property
     def epsilon(self) -> float:
         """Equation 1's error."""

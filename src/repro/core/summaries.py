@@ -167,6 +167,40 @@ class DftSummaryManager:
         self._updates_since_refresh = 0
         self._version = 0
         self.broadcasts = 0
+        self.suppressed_refreshes = 0
+        self.telemetry = None
+        """Optional :class:`repro.telemetry.TelemetryHub` (wired by the
+        owning policy's ``attach_telemetry``)."""
+        self.telemetry_node = None
+        self._last_full_recomputes = 0
+
+    def _emit_refresh_telemetry(self, update: Optional[SummaryUpdate]) -> None:
+        hub = self.telemetry
+        recomputes = self.dft.full_recomputes
+        if recomputes > self._last_full_recomputes:
+            hub.emit(
+                "summary.recompute",
+                category="summary",
+                node=self.telemetry_node,
+                stream=self.stream.value,
+                count=recomputes - self._last_full_recomputes,
+            )
+            self._last_full_recomputes = recomputes
+        if update is None:
+            hub.registry.counter(
+                "repro_summary_suppressed_total",
+                node=self.telemetry_node,
+                stream=self.stream.value,
+            ).inc()
+            return
+        hub.emit(
+            "summary.broadcast",
+            category="summary",
+            node=self.telemetry_node,
+            stream=self.stream.value,
+            entries=update.entries,
+            version=update.version,
+        )
 
     def observe(self, key: int) -> None:
         """Feed one locally-arrived attribute value through the summary."""
@@ -210,6 +244,9 @@ class DftSummaryManager:
             np.abs(current - previous) > self.delta_tolerance * scale
         )
         if not changed_mask.any():
+            self.suppressed_refreshes += 1
+            if self.telemetry is not None:
+                self._emit_refresh_telemetry(None)
             return None
         self._last_broadcast_values[changed_mask] = current[changed_mask]
         self._ever_broadcast[changed_mask] = True
@@ -229,6 +266,8 @@ class DftSummaryManager:
         )
         self.outbox.broadcast(update)
         self.broadcasts += 1
+        if self.telemetry is not None:
+            self._emit_refresh_telemetry(update)
         return update
 
     def local_coefficients(self) -> Dict[int, complex]:
@@ -250,6 +289,15 @@ class DftSummaryManager:
         self._last_broadcast_values[:] = coefficients
         self._ever_broadcast[:] = True
         self._version += 1
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "summary.resync",
+                category="summary",
+                node=self.telemetry_node,
+                stream=self.stream.value,
+                entries=len(current),
+                version=self._version,
+            )
         return SummaryUpdate(
             algorithm=self.ALGORITHM,
             stream=self.stream,
@@ -290,6 +338,8 @@ class SnapshotSummaryManager:
         self._updates_since_refresh = 0
         self._version = 0
         self.broadcasts = 0
+        self.telemetry = None
+        self.telemetry_node = None
 
     def tick(self) -> Optional[SummaryUpdate]:
         """Count one local update; broadcast a snapshot at the cadence."""
@@ -303,6 +353,15 @@ class SnapshotSummaryManager:
         update = self.snapshot_update()
         self.outbox.broadcast(update)
         self.broadcasts += 1
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "summary.broadcast",
+                category="summary",
+                node=self.telemetry_node,
+                stream=self.stream.value,
+                entries=update.entries,
+                version=update.version,
+            )
         return update
 
     def snapshot_update(self) -> SummaryUpdate:

@@ -33,6 +33,7 @@ from repro.streams.generators import uniform_stream, zipf_stream
 from repro.streams.network import NetworkTraceConfig, network_trace_stream
 from repro.streams.partitioner import GeographicPartitioner, PartitionerConfig
 from repro.streams.tuples import StreamId, StreamTuple
+from repro.telemetry import TelemetryHub, build_manifest
 
 
 def build_key_stream(workload: WorkloadConfig, rng: np.random.Generator) -> Iterator[int]:
@@ -98,6 +99,19 @@ class DistributedJoinSystem:
             spawn(root_rng, config.num_nodes) if config.reliability.enabled else []
         )
         self.scheduler = EventScheduler()
+        self.telemetry: Optional[TelemetryHub] = None
+        self.dashboard = None
+        if config.telemetry.enabled:
+            self.telemetry = TelemetryHub(
+                config.telemetry, clock=lambda: self.scheduler.now
+            )
+            self.scheduler.telemetry = self.telemetry
+            self.telemetry.add_sampler(self._sample_telemetry)
+            if config.telemetry.dashboard:
+                from repro.telemetry import AsciiDashboard
+
+                self.dashboard = AsciiDashboard(self)
+                self.telemetry.add_sampler(self.dashboard.on_sample)
         self.fault_injector: Optional[FaultInjector] = None
         if not config.faults.empty:
             self.fault_injector = FaultInjector(config.faults, config.num_nodes)
@@ -108,6 +122,11 @@ class DistributedJoinSystem:
             rng=self._network_rng,
             fault_injector=self.fault_injector,
         )
+        if self.telemetry is not None:
+            self.network.telemetry = self.telemetry
+            # The registry-backed trace view: hub owns the ring, the
+            # network feeds it (TrafficStats stays the always-on tally).
+            self.network.trace = self.telemetry.message_trace
         self.oracles: List[GroundTruthOracle] = [
             GroundTruthOracle() for _ in range(config.num_queries)
         ]
@@ -143,6 +162,8 @@ class DistributedJoinSystem:
                     rng=policy_rngs[node_id * config.num_queries + query_id],
                 )
                 policy = make_policy(context, shared_states[query_id])
+                if self.telemetry is not None:
+                    policy.attach_telemetry(self.telemetry)
                 if node is None:
                     transport = None
                     if config.reliability.enabled:
@@ -164,6 +185,7 @@ class DistributedJoinSystem:
                         transport=transport,
                         fault_injector=self.fault_injector,
                         profiler=profiler,
+                        telemetry=self.telemetry,
                     )
                 else:
                     node.add_query(
@@ -287,6 +309,7 @@ class DistributedJoinSystem:
         self._tuples_scheduled = workload.total_tuples
         self._arrival_span = last_time
         self._schedule_heartbeats()
+        self._schedule_telemetry_sampling()
 
     def _schedule_heartbeats(self) -> None:
         """Pre-schedule every heartbeat tick over the run's span.
@@ -309,6 +332,59 @@ class DistributedJoinSystem:
                     when, lambda n=node: n.send_heartbeats()
                 )
 
+    def _schedule_telemetry_sampling(self) -> None:
+        """Pre-schedule every registry sampling tick over the run's span.
+
+        Like the heartbeats, the tick set is fixed and finite (not
+        self-rescheduling), so the scheduler's run-to-drain termination
+        is preserved.  The horizon extends ``sample_margin_s`` past the
+        last arrival to keep the drain tail visible.
+        """
+        if self.telemetry is None:
+            return
+        settings = self.config.telemetry
+        horizon = self._arrival_span + settings.sample_margin_s
+        interval = settings.sample_interval_s
+        count = int(horizon / interval) + 1
+        for index in range(1, count + 1):
+            self.scheduler.schedule_at(
+                index * interval, self.telemetry.sample_tick, material=False
+            )
+
+    def _sample_telemetry(self, now: float, registry) -> None:
+        """Read live system state into registry instruments (one tick).
+
+        Pure reads: sampling must not consume RNG draws or mutate any
+        component, so an instrumented run stays result-identical to a
+        dark one.
+        """
+        registry.gauge("repro_sched_events_processed").set(
+            self.scheduler.events_processed
+        )
+        registry.gauge("repro_sched_pending_events").set(self.scheduler.pending)
+        for node in self.nodes:
+            node_id = node.node_id
+            registry.gauge("repro_node_queue_depth", node=node_id).set(
+                node.queue_depth
+            )
+            registry.gauge("repro_node_tuples_processed", node=node_id).set(
+                node.tuples_processed
+            )
+            registry.gauge("repro_node_remote_tuples", node=node_id).set(
+                node.remote_tuples_processed
+            )
+            registry.gauge("repro_node_busy_seconds", node=node_id).set(
+                node.busy_seconds
+            )
+        # TrafficStats stays the always-on accumulator; each tick
+        # snapshots its cumulative counters into registry series.
+        for name, labels, value in self.network.stats.iter_counters():
+            registry.counter(name, **labels).value = value
+        for (source, destination), link in self.network.iter_links():
+            registry.gauge(
+                "repro_link_backlog_seconds", src=source, dst=destination
+            ).set(link.queue_depth_seconds())
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
@@ -325,6 +401,9 @@ class DistributedJoinSystem:
         return self._collect()
 
     def _collect(self) -> RunResult:
+        if self.telemetry is not None:
+            # One final tick so the series capture the drained end state.
+            self.telemetry.sample_tick()
         stats = self.network.stats
         merged_series: Dict[int, int] = {}
         for collector in self.collectors:
@@ -391,7 +470,7 @@ class DistributedJoinSystem:
             duplicate_reports=sum(c.duplicates for c in self.collectors),
             spurious_reports=sum(c.spurious for c in self.collectors),
             tuples_arrived=sum(o.tuples_observed for o in self.oracles),
-            duration_seconds=self.scheduler.now,
+            duration_seconds=self.scheduler.material_now,
             arrival_span_seconds=self._arrival_span,
             traffic=stats.as_dict(),
             messages_by_kind=dict(stats.messages_by_kind),
@@ -405,6 +484,8 @@ class DistributedJoinSystem:
             reliability=reliability,
             faults=faults,
             profile=self.profiler.snapshot() if self.profiler is not None else {},
+            manifest=build_manifest(self.config),
+            telemetry=self.telemetry.summary() if self.telemetry is not None else {},
         )
 
 

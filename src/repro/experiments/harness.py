@@ -26,6 +26,7 @@ from repro.config import (
 )
 from repro.core.flow import FlowSettings
 from repro.errors import ConfigurationError
+from repro.telemetry.settings import TelemetrySettings
 
 
 @dataclass(frozen=True)
@@ -115,6 +116,8 @@ def system_config(
     arrival_rate: float = 0.0,
     total_tuples: int = 0,
     seed_offset: int = 0,
+    telemetry: bool = False,
+    telemetry_sample_interval_s: float = 1.0,
 ) -> SystemConfig:
     """One experiment run's configuration, derived from a scale preset."""
     policy = PolicyConfig(
@@ -133,6 +136,10 @@ def system_config(
         window_size=scale.window_size,
         policy=policy,
         workload=workload,
+        telemetry=TelemetrySettings(
+            enabled=telemetry,
+            sample_interval_s=telemetry_sample_interval_s,
+        ),
         seed=scale.seed + seed_offset,
     )
 

@@ -82,6 +82,7 @@ class Link:
         endpoints: Optional[Tuple[int, int]] = None,
         fault_injector=None,
         on_drop: Optional[Callable[[Message], None]] = None,
+        on_deliver: Optional[Callable[[Message], None]] = None,
     ) -> None:
         spec.validate()
         self._scheduler = scheduler
@@ -91,6 +92,7 @@ class Link:
         self._endpoints = endpoints
         self._injector = fault_injector
         self._on_drop = on_drop
+        self._on_deliver = on_deliver
         self._free_at = 0.0
         self._last_arrival = 0.0
         self.messages_sent = 0
@@ -174,4 +176,6 @@ class Link:
             self._injector.note_blocked()
             self._drop(message)
             return
+        if self._on_deliver is not None:
+            self._on_deliver(message)
         self._deliver(message)

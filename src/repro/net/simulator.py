@@ -34,6 +34,7 @@ class Event:
     sequence: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    material: bool = field(default=True, compare=False)
     owner: Optional["EventScheduler"] = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
@@ -63,15 +64,29 @@ class EventScheduler:
         self._queue: list[Event] = []
         self._sequence = itertools.count()
         self._now = 0.0
+        self._material_now = 0.0
         self._running = False
         self._events_processed = 0
         self._cancelled_pending = 0
         self.compactions = 0
+        self.telemetry = None
+        """Optional :class:`repro.telemetry.TelemetryHub`; when set,
+        heap compactions are emitted as scheduler events."""
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def material_now(self) -> float:
+        """Simulated time of the last *material* event processed.
+
+        Observation-only events (telemetry sampling ticks, scheduled with
+        ``material=False``) advance :attr:`now` but not this clock, so a
+        run's reported duration is identical with telemetry on or off.
+        """
+        return self._material_now
 
     @property
     def events_processed(self) -> int:
@@ -93,31 +108,50 @@ class EventScheduler:
 
     def _compact(self) -> None:
         """Drop cancelled entries and re-heapify the survivors."""
+        before = len(self._queue)
         self._queue = [event for event in self._queue if not event.cancelled]
         heapq.heapify(self._queue)
         self._cancelled_pending = 0
         self.compactions += 1
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "sched.compaction",
+                category="scheduler",
+                time=self._now,
+                dropped=before - len(self._queue),
+                remaining=len(self._queue),
+            )
 
-    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+    def schedule_at(
+        self, time: float, callback: Callable[[], None], material: bool = True
+    ) -> Event:
         """Schedule ``callback`` at absolute simulated ``time``.
 
         Scheduling in the past is an error: the clock only moves forward.
+        ``material=False`` marks an observation-only event (telemetry
+        sampling) that must not advance :attr:`material_now`.
         """
         if time < self._now:
             raise SimulationError(
                 "cannot schedule at t=%g; clock is already at t=%g" % (time, self._now)
             )
         event = Event(
-            time=time, sequence=next(self._sequence), callback=callback, owner=self
+            time=time,
+            sequence=next(self._sequence),
+            callback=callback,
+            material=material,
+            owner=self,
         )
         heapq.heappush(self._queue, event)
         return event
 
-    def schedule_in(self, delay: float, callback: Callable[[], None]) -> Event:
+    def schedule_in(
+        self, delay: float, callback: Callable[[], None], material: bool = True
+    ) -> Event:
         """Schedule ``callback`` after ``delay`` seconds of simulated time."""
         if delay < 0:
             raise SimulationError("delay must be non-negative, got %g" % delay)
-        return self.schedule_at(self._now + delay, callback)
+        return self.schedule_at(self._now + delay, callback, material=material)
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Drain the event queue.
@@ -142,11 +176,14 @@ class EventScheduler:
                     self._cancelled_pending -= 1
                     continue
                 self._now = event.time
+                if event.material:
+                    self._material_now = event.time
                 event.callback()
                 executed += 1
                 self._events_processed += 1
             if until is not None and self._now < until:
                 self._now = until
+                self._material_now = until
         finally:
             self._running = False
         return self._now
@@ -162,6 +199,8 @@ class EventScheduler:
                 self._cancelled_pending -= 1
                 continue
             self._now = event.time
+            if event.material:
+                self._material_now = event.time
             event.callback()
             self._events_processed += 1
             return True

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Iterator, Tuple
 
 from repro.net.message import Message, MessageKind
 
@@ -86,6 +86,29 @@ class TrafficStats:
         self.messages_lost += other.messages_lost
         self.bytes_lost += other.bytes_lost
         self.lost_by_kind.update(other.lost_by_kind)
+
+    def iter_counters(self) -> Iterator[Tuple[str, Dict[str, str], float]]:
+        """Yield ``(metric, labels, value)`` for every counter, sorted.
+
+        The telemetry hub snapshots these into registry time series at
+        sampling ticks, which is how :class:`TrafficStats` stays the
+        always-on accumulator while the registry provides the history.
+        """
+        for kind in sorted(self.messages_by_kind):
+            yield "repro_traffic_messages_total", {"kind": kind}, float(
+                self.messages_by_kind[kind]
+            )
+        for kind in sorted(self.bytes_by_kind):
+            yield "repro_traffic_bytes_total", {"kind": kind}, float(
+                self.bytes_by_kind[kind]
+            )
+        for kind in sorted(self.lost_by_kind):
+            yield "repro_traffic_lost_total", {"kind": kind}, float(
+                self.lost_by_kind[kind]
+            )
+        yield "repro_traffic_summary_bytes_total", {}, float(self.summary_bytes)
+        yield "repro_traffic_net_data_bytes_total", {}, float(self.net_data_bytes)
+        yield "repro_traffic_summary_entries_total", {}, float(self.summary_entries)
 
     def as_dict(self) -> Dict[str, float]:
         """Flat dictionary for result reporting."""

@@ -53,6 +53,10 @@ class Network:
         self.trace = None
         """Optional :class:`repro.net.trace.MessageTrace`; assign to enable."""
 
+        self.telemetry = None
+        """Optional :class:`repro.telemetry.TelemetryHub`; assign to enable
+        per-message metrics and send/deliver/drop events."""
+
     @property
     def scheduler(self) -> EventScheduler:
         return self._scheduler
@@ -89,6 +93,7 @@ class Network:
                 endpoints=key,
                 fault_injector=self.fault_injector,
                 on_drop=self._record_loss,
+                on_deliver=self._record_delivery,
             )
         return self._links[key]
 
@@ -97,6 +102,16 @@ class Network:
         sender_stats = self.per_sender_stats.get(message.source)
         if sender_stats is not None:
             sender_stats.record_loss(message)
+        if self.trace is not None:
+            self.trace.mark_dropped(message.message_id)
+        if self.telemetry is not None:
+            self.telemetry.on_message_drop(self._scheduler.now, message)
+
+    def _record_delivery(self, message: Message) -> None:
+        if self.trace is not None:
+            self.trace.mark_delivered(message.message_id)
+        if self.telemetry is not None:
+            self.telemetry.on_message_deliver(self._scheduler.now, message)
 
     def send(self, message: Message) -> float:
         """Transmit ``message`` over the mesh; returns its delivery time."""
@@ -108,7 +123,18 @@ class Network:
         self.per_sender_stats[message.source].record(message)
         if self.trace is not None:
             self.trace.record(self._scheduler.now, message)
+        if self.telemetry is not None:
+            self.telemetry.on_message_send(self._scheduler.now, message)
         return arrival
+
+    def iter_links(self):
+        """Iterate ``((source, destination), link)`` over links that exist.
+
+        Links are lazy, so only pairs that have carried traffic appear.
+        Ordered by endpoint pair for deterministic consumers (samplers,
+        the dashboard's busiest-links table).
+        """
+        return iter(sorted(self._links.items()))
 
     def link_stats(self) -> Dict[Tuple[int, int], Tuple[int, int, int, int]]:
         """Per-directed-link ``(messages, bytes, messages_lost, bytes_lost)``.

@@ -1,0 +1,50 @@
+"""Chrome-trace schema validation entry point.
+
+Usage::
+
+    python -m repro.telemetry.validate trace.json [more.json ...]
+
+Exits 0 when every file validates against the Trace Event Format
+(see :func:`repro.telemetry.exporters.validate_chrome_trace`), 1 with a
+diagnostic on the first violation.  CI runs this over the trace the
+telemetry smoke job exports.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.telemetry.exporters import validate_chrome_trace
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    paths = list(sys.argv[1:] if argv is None else argv)
+    if not paths:
+        print("usage: python -m repro.telemetry.validate TRACE.json ...", file=sys.stderr)
+        return 2
+    for raw in paths:
+        path = Path(raw)
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, ValueError) as error:
+            print("%s: unreadable trace: %s" % (path, error), file=sys.stderr)
+            return 1
+        try:
+            counts = validate_chrome_trace(document)
+        except ConfigurationError as error:
+            print("%s: INVALID: %s" % (path, error), file=sys.stderr)
+            return 1
+        total = sum(counts.values())
+        summary = ", ".join(
+            "%s=%d" % (phase, counts[phase]) for phase in sorted(counts)
+        )
+        print("%s: OK (%d records: %s)" % (path, total, summary))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    sys.exit(main())

@@ -8,6 +8,7 @@ via ``REPRO_NAIVE_KERNELS``.  This is the system-level counterpart of the
 bit-level kernel equivalence suite.
 """
 
+import dataclasses
 import pickle
 
 import pytest
@@ -38,6 +39,10 @@ def reference_config(algorithm):
     )
 
 
+def _without_manifest(result):
+    return dataclasses.replace(result, manifest={})
+
+
 @pytest.mark.parametrize(
     "algorithm", [Algorithm.DFTT, Algorithm.SKCH, Algorithm.BLOOM]
 )
@@ -52,8 +57,14 @@ def test_fast_kernels_reproduce_naive_run_exactly(algorithm, monkeypatch):
     assert fast.traffic == naive.traffic
     assert fast.node_diagnostics == naive.node_diagnostics
     assert fast.throughput_series == naive.throughput_series
-    # The whole result object, serialized, is byte-identical.
-    assert pickle.dumps(fast) == pickle.dumps(naive)
+    # The whole result object, serialized, is byte-identical -- except
+    # the run manifest, whose kernel_mode field records (correctly) that
+    # one run used the naive kernels.
+    assert fast.manifest["kernel_mode"] == "fast"
+    assert naive.manifest["kernel_mode"] == "naive"
+    assert pickle.dumps(_without_manifest(fast)) == pickle.dumps(
+        _without_manifest(naive)
+    )
 
 
 def test_fast_kernels_reproduce_naive_run_with_reliability(monkeypatch):
@@ -62,7 +73,6 @@ def test_fast_kernels_reproduce_naive_run_with_reliability(monkeypatch):
 
     def config():
         base = reference_config(Algorithm.DFTT)
-        import dataclasses
 
         return dataclasses.replace(
             base,
@@ -73,4 +83,6 @@ def test_fast_kernels_reproduce_naive_run_with_reliability(monkeypatch):
     fast = run_experiment(config())
     monkeypatch.setenv(NAIVE_KERNELS_ENV, "1")
     naive = run_experiment(config())
-    assert pickle.dumps(fast) == pickle.dumps(naive)
+    assert pickle.dumps(_without_manifest(fast)) == pickle.dumps(
+        _without_manifest(naive)
+    )

@@ -1,0 +1,247 @@
+"""Unit tests for the telemetry registry, hub, and settings."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.message import Message, MessageKind
+from repro.telemetry import (
+    TelemetryHub,
+    TelemetrySettings,
+    hub_if,
+)
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    TimeSeries,
+    format_labels,
+    label_set,
+)
+
+
+class TestLabels:
+    def test_label_set_is_sorted_and_stringified(self):
+        assert label_set({"stream": "R", "node": 3}) == (
+            ("node", "3"),
+            ("stream", "R"),
+        )
+
+    def test_label_order_does_not_matter(self):
+        assert label_set({"a": 1, "b": 2}) == label_set({"b": 2, "a": 1})
+
+    def test_format_labels(self):
+        assert format_labels(label_set({"node": 3, "stream": "R"})) == (
+            "node=3;stream=R"
+        )
+        assert format_labels(()) == ""
+
+
+class TestTimeSeries:
+    def test_ring_buffer_drops_oldest(self):
+        series = TimeSeries(3)
+        for tick in range(5):
+            series.append(float(tick), float(tick * 10))
+        assert list(series) == [(2.0, 20.0), (3.0, 30.0), (4.0, 40.0)]
+        assert len(series) == 3
+        assert series.dropped == 2
+        assert series.last() == (4.0, 40.0)
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ConfigurationError):
+            TimeSeries(0)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        counter = Counter("c", ())
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        assert counter.sample_value() == 3.5
+
+    def test_gauge_is_point_in_time(self):
+        gauge = Gauge("g", ())
+        gauge.set(7)
+        gauge.set(2)
+        assert gauge.value == 2.0
+
+    def test_histogram_buckets(self):
+        histogram = Histogram("h", (), edges=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 100.0):
+            histogram.observe(value)
+        assert histogram.counts == [1, 1, 1, 1]
+        assert histogram.count == 4
+        assert histogram.total == pytest.approx(105.0)
+        assert histogram.sample_value() == 4.0
+
+    def test_histogram_rejects_unsorted_edges(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("h", (), edges=(2.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            Histogram("h", (), edges=())
+
+
+class TestMetricRegistry:
+    def test_get_or_create_shares_instruments(self):
+        registry = MetricRegistry()
+        first = registry.counter("repro_x_total", node=1)
+        second = registry.counter("repro_x_total", node=1)
+        other = registry.counter("repro_x_total", node=2)
+        assert first is second
+        assert first is not other
+        assert len(registry) == 2
+
+    def test_kind_conflict_raises(self):
+        registry = MetricRegistry()
+        registry.counter("repro_x_total")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("repro_x_total")
+
+    def test_instruments_are_deterministically_ordered(self):
+        registry = MetricRegistry()
+        registry.counter("b_total", node=2)
+        registry.counter("a_total")
+        registry.counter("b_total", node=1)
+        names = [
+            (instrument.name, instrument.labels)
+            for instrument in registry.instruments()
+        ]
+        assert names == sorted(names)
+
+    def test_sample_appends_to_every_series(self):
+        registry = MetricRegistry(series_capacity=8)
+        counter = registry.counter("c_total")
+        gauge = registry.gauge("g")
+        counter.inc(3)
+        gauge.set(5)
+        registry.sample(1.0)
+        counter.inc(2)
+        registry.sample(2.0)
+        assert registry.samples_taken == 2
+        assert list(counter.series) == [(1.0, 3.0), (2.0, 5.0)]
+        assert list(gauge.series) == [(1.0, 5.0), (2.0, 5.0)]
+        rows = list(registry.series_rows())
+        assert ("c_total", "", 1.0, 3.0) in rows
+        assert ("g", "", 2.0, 5.0) in rows
+
+    def test_get_returns_none_for_missing(self):
+        registry = MetricRegistry()
+        assert registry.get("absent") is None
+
+
+def _message(kind=MessageKind.TUPLE, entries=0, created_at=None):
+    return Message(
+        kind=kind,
+        source=0,
+        destination=1,
+        summary_entries=entries,
+        created_at=created_at,
+    )
+
+
+class TestTelemetryHub:
+    def test_emit_timestamps_with_clock(self):
+        moments = [4.0]
+        hub = TelemetryHub(clock=lambda: moments[0])
+        hub.emit("a", category="test")
+        moments[0] = 9.0
+        hub.emit("b", category="test", time=7.5, node=2, dur_s=0.25, extra=1)
+        events = list(hub.events())
+        assert [event.time for event in events] == [4.0, 7.5]
+        assert [event.seq for event in events] == [0, 1]
+        assert events[1].node == 2
+        assert events[1].dur_s == 0.25
+        assert events[1].attrs == {"extra": 1}
+
+    def test_event_ring_drops_oldest(self):
+        settings = TelemetrySettings(enabled=True, event_capacity=4)
+        hub = TelemetryHub(settings)
+        for index in range(6):
+            hub.emit("e%d" % index, category="test")
+        assert hub.events_emitted == 6
+        assert len(hub) == 4
+        assert hub.events_dropped == 2
+        assert next(iter(hub.events())).name == "e2"
+        # The category counter saw every emission, not just retained ones.
+        assert hub.registry.get("repro_events_total", category="test").value == 6
+
+    def test_message_accounting(self):
+        hub = TelemetryHub()
+        hub.on_message_send(1.0, _message(entries=3))
+        hub.on_message_send(1.5, _message(kind=MessageKind.SUMMARY))
+        hub.on_message_deliver(2.0, _message(created_at=1.0))
+        hub.on_message_drop(2.5, _message())
+        registry = hub.registry
+        assert registry.get("repro_net_messages_total", kind="tuple").value == 1
+        assert registry.get("repro_net_messages_total", kind="summary").value == 1
+        assert registry.get("repro_net_delivered_total", kind="tuple").value == 1
+        assert registry.get("repro_net_lost_total", kind="tuple").value == 1
+        assert registry.get("repro_link_messages_total", src=0, dst=1).value == 2
+        transit = registry.get("repro_net_transit_seconds", kind="tuple")
+        assert transit.count == 1
+        assert transit.total == pytest.approx(1.0)
+        names = [event.name for event in hub.events()]
+        assert names == ["net.send", "net.send", "net.deliver", "net.drop"]
+
+    def test_trace_messages_off_accounts_without_events(self):
+        settings = TelemetrySettings(enabled=True, trace_messages=False)
+        hub = TelemetryHub(settings)
+        assert hub.message_trace is None
+        hub.on_message_send(1.0, _message())
+        assert hub.registry.get("repro_net_messages_total", kind="tuple").value == 1
+        assert len(hub) == 0
+
+    def test_sample_tick_runs_samplers_then_snapshots(self):
+        hub = TelemetryHub(clock=lambda: 3.0)
+        seen = []
+
+        def sampler(now, registry):
+            seen.append(now)
+            registry.gauge("repro_probe").set(42)
+
+        hub.add_sampler(sampler)
+        hub.sample_tick()
+        assert seen == [3.0]
+        probe = hub.registry.get("repro_probe")
+        assert list(probe.series) == [(3.0, 42.0)]
+
+    def test_summary_totals(self):
+        hub = TelemetryHub(clock=lambda: 0.0)
+        hub.emit("a", category="net")
+        hub.emit("b", category="net")
+        hub.emit("c", category="node")
+        hub.sample_tick(1.0)
+        summary = hub.summary()
+        assert summary["events_emitted"] == 3.0
+        assert summary["events_dropped"] == 0.0
+        assert summary["samples_taken"] == 1.0
+        assert summary["events_net"] == 2.0
+        assert summary["events_node"] == 1.0
+        assert hub.counts_by_category() == {"net": 2, "node": 1}
+
+    def test_hub_if(self):
+        assert hub_if(False) is None
+        assert isinstance(hub_if(True), TelemetryHub)
+
+
+class TestTelemetrySettings:
+    def test_defaults_are_disabled(self):
+        settings = TelemetrySettings()
+        assert not settings.enabled
+        settings.validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(sample_interval_s=0.0),
+            dict(sample_margin_s=-1.0),
+            dict(event_capacity=0),
+            dict(series_capacity=0),
+            dict(trace_capacity=0),
+            dict(dashboard_interval_s=0.0),
+        ],
+    )
+    def test_validate_rejects_bad_values(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TelemetrySettings(enabled=True, **kwargs).validate()
