@@ -7,8 +7,13 @@ Usage::
 
 Prints the headline metrics (epsilon, messages per result tuple,
 throughput, overhead) and, with ``--verbose``, the per-node diagnostics.
-The figure/table reproductions have their own entry point:
-``python -m repro.experiments.report``.
+
+The figure/table reproductions are reachable both directly
+(``python -m repro.experiments.report``, ``python -m
+repro.experiments.chaos``) and through the ``experiments`` subcommand::
+
+    python -m repro experiments report smoke --only fig9
+    python -m repro experiments chaos smoke --fault-grid "clean; storm@loss=0.4"
 """
 
 from __future__ import annotations
@@ -225,7 +230,43 @@ def config_from_args(args: argparse.Namespace) -> SystemConfig:
     )
 
 
+EXPERIMENT_COMMANDS = ("chaos", "report")
+
+
+def experiments_main(argv: Sequence[str]) -> int:
+    """Dispatch ``repro experiments <name> ...`` to the harness CLIs."""
+    help_requested = bool(argv) and argv[0] in ("-h", "--help")
+    if not argv or help_requested:
+        print(
+            "usage: repro experiments {%s} [args...]\n\n"
+            "  chaos   accuracy-vs-failure-rate sweep under injected faults\n"
+            "  report  every table/figure reproduction in one run"
+            % ",".join(EXPERIMENT_COMMANDS),
+            file=sys.stdout if help_requested else sys.stderr,
+        )
+        return 0 if help_requested else 2
+    name, rest = argv[0], list(argv[1:])
+    if name == "chaos":
+        from repro.experiments.chaos import main as chaos_main
+
+        return chaos_main(rest)
+    if name == "report":
+        from repro.experiments.report import main as report_main
+
+        return report_main(rest)
+    print(
+        "error: unknown experiment command %r (choose from %s)"
+        % (name, ", ".join(EXPERIMENT_COMMANDS)),
+        file=sys.stderr,
+    )
+    return 2
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "experiments":
+        return experiments_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     profile_report = ""
     profiler = None

@@ -20,14 +20,21 @@ module                reproduces
 ``fig9``              Figure 9 -- messages per result tuple at eps = 15%%
 ``fig10``             Figure 10 -- error vs kappa (a) and vs nodes (b)
 ``fig11``             Figure 11 -- throughput vs nodes at eps = 15%%
+``chaos``             accuracy / cost / recovery vs injected failure rate
 ====================  =======================================================
 """
 
-from repro.experiments.ascii_plot import line_chart
+from repro.experiments.ascii_plot import bar_chart, line_chart
 from repro.experiments.calibrate import calibrate_budget
 from repro.experiments.harness import ExperimentScale, get_scale
-from repro.experiments.persistence import load_results, save_results
+from repro.experiments.persistence import (
+    load_chaos_rows,
+    load_results,
+    save_chaos_rows,
+    save_results,
+)
 from repro.experiments.regression import compare as compare_results
+from repro.experiments.regression import compare_chaos
 from repro.experiments.reporting import format_series, format_table
 
 __all__ = [
@@ -36,8 +43,12 @@ __all__ = [
     "calibrate_budget",
     "format_table",
     "format_series",
+    "bar_chart",
     "line_chart",
     "save_results",
     "load_results",
+    "save_chaos_rows",
+    "load_chaos_rows",
     "compare_results",
+    "compare_chaos",
 ]

@@ -1,9 +1,11 @@
-"""Terminal line charts for the figure reproductions.
+"""Terminal line and bar charts for the figure reproductions.
 
 The report CLI renders each figure's series as an ASCII chart so the
 *shape* -- the thing this reproduction is graded on -- is visible without
-a plotting stack.  One character column per x-sample (or resampled when
-the series is wider than the canvas), one glyph per series.
+a plotting stack.  :func:`line_chart` draws one character column per
+x-sample (or resampled when the series is wider than the canvas), one
+glyph per series; :func:`bar_chart` draws grouped vertical bars over a
+categorical x-axis (the chaos sweep's fault levels).
 """
 
 from __future__ import annotations
@@ -77,6 +79,94 @@ def line_chart(
     legend = "   ".join(
         "%s %s" % (glyph, name)
         for glyph, (name, _) in zip(GLYPHS, sorted(all_series.items()))
+    )
+    if y_label:
+        legend = "%s   [y: %s]" % (legend, y_label)
+    lines.append(" " * (margin + 1) + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    categories: Sequence[str],
+    all_series: Dict[str, Sequence[float]],
+    height: int = 12,
+    y_label: str = "",
+) -> str:
+    """Grouped vertical bars: one bar column per series per category.
+
+    Every series must supply one non-negative value per category; bars
+    rise from zero so group heights compare directly.
+    """
+    if height < 4:
+        raise ConfigurationError("canvas too short (min height 4)")
+    if not categories or not all_series:
+        raise ConfigurationError("nothing to plot")
+    if len(all_series) > len(GLYPHS):
+        raise ConfigurationError("too many series (max %d)" % len(GLYPHS))
+    named = sorted(all_series.items())
+    for name, values in named:
+        if len(values) != len(categories):
+            raise ConfigurationError(
+                "series %r has %d values for %d categories"
+                % (name, len(values), len(categories))
+            )
+        if any(value < 0 for value in values):
+            raise ConfigurationError("bar values must be non-negative")
+    y_high = max(value for _, values in named for value in values)
+    if y_high == 0:
+        y_high = 1.0
+
+    group_width = len(named)
+    gap = 2
+    levels: List[List[int]] = [
+        [
+            # A nonzero value always shows at least one cell of bar.
+            0
+            if values[column] == 0
+            else max(1, int(round(values[column] / y_high * height)))
+            for _, values in named
+        ]
+        for column in range(len(categories))
+    ]
+    lines: List[str] = []
+    top_label = "%.4g" % y_high
+    bottom_label = "0"
+    margin = max(len(top_label), len(bottom_label)) + 1
+    for row in range(height, 0, -1):
+        cells = []
+        for group in levels:
+            cells.append(
+                "".join(
+                    glyph if level >= row else " "
+                    for glyph, level in zip(GLYPHS, group)
+                )
+            )
+        if row == height:
+            prefix = top_label.rjust(margin)
+        elif row == 1:
+            prefix = bottom_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append("%s|%s" % (prefix, (" " * gap).join(cells)))
+    width = group_width * len(categories) + gap * (len(categories) - 1)
+    lines.append("%s+%s" % (" " * margin, "-" * width))
+    # Groups are indexed under the axis; the mapping line spells them out
+    # (category names rarely fit under a bars-wide group).
+    labels = []
+    for position in range(len(categories)):
+        slot = group_width + (gap if position < len(categories) - 1 else 0)
+        labels.append(str(position).ljust(slot)[:slot])
+    lines.append(" " * (margin + 1) + "".join(labels).rstrip())
+    lines.append(
+        " " * (margin + 1)
+        + "x: "
+        + "  ".join(
+            "%d=%s" % (position, category)
+            for position, category in enumerate(categories)
+        )
+    )
+    legend = "   ".join(
+        "%s %s" % (glyph, name) for glyph, (name, _) in zip(GLYPHS, named)
     )
     if y_label:
         legend = "%s   [y: %s]" % (legend, y_label)

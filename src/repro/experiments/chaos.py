@@ -1,0 +1,653 @@
+"""Chaos sweep: accuracy and transmission cost versus failure rate.
+
+The paper's Section 6 figures are measured on a *clean* emulated WAN.
+This experiment adds the axis the deployment literature cares about:
+each algorithm is run across a grid of **fault intensities** -- loss-burst
+probability, partition duration, crash count -- with the reliable control
+plane on, and every cell reports
+
+* the join error (Equation 1's epsilon),
+* the transmission cost (total bytes on the wire, bytes destroyed),
+* the recovery behaviour (failure detections, recoveries, resync count,
+  recovery latency from :mod:`repro.core.health`), and
+* the time the forwarding policies spent in worst-case fallback mode,
+  reconstructed from the telemetry hub's ``policy.worst_case_mode`` flips.
+
+Fault schedules are built deterministically from the scale preset (event
+windows are placed relative to the nominal arrival span), so a chaos
+sweep is exactly as reproducible as the clean figures: same seed + same
+grid = byte-identical rows.
+
+Usage::
+
+    python -m repro.experiments.chaos smoke
+    python -m repro.experiments.chaos bench \\
+        --fault-grid "clean; storm@loss=0.5; split@part=4s,crash=1" \\
+        --out chaos.json --figure chaos.txt
+    python -m repro.experiments.chaos smoke --baseline chaos.json
+
+(also reachable as ``python -m repro experiments chaos ...``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.config import Algorithm
+from repro.core.system import DistributedJoinSystem
+from repro.errors import ConfigurationError
+from repro.experiments.ascii_plot import bar_chart, line_chart
+from repro.experiments.harness import (
+    COMPARED_ALGORITHMS,
+    ExperimentScale,
+    get_scale,
+    system_config,
+)
+from repro.experiments.reporting import format_table
+from repro.net.faults import FaultEvent, FaultKind, FaultPlan
+from repro.net.reliable import ReliabilitySettings
+
+CHAOS_FORMAT_VERSION = 1
+
+WORST_CASE_EVENT = "policy.worst_case_mode"
+
+
+# ----------------------------------------------------------------------
+# the fault grid
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChaosLevel:
+    """One fault intensity of the sweep.
+
+    The three knobs are the failure axes the sweep is graded on:
+    ``loss_probability`` drives a mesh-wide loss burst, ``partition_s``
+    cuts half the mesh off for that many seconds, and ``crash_count``
+    crashes that many nodes (staggered, highest ids first).  All zero
+    means the clean-WAN baseline cell.
+    """
+
+    name: str
+    loss_probability: float = 0.0
+    partition_s: float = 0.0
+    crash_count: int = 0
+
+    def validate(self) -> None:
+        if not self.name or any(c in self.name for c in ";,@= \t"):
+            raise ConfigurationError(
+                "chaos level name %r must be a bare word" % (self.name,)
+            )
+        if not 0.0 <= self.loss_probability <= 1.0:
+            raise ConfigurationError("loss probability must lie in [0, 1]")
+        if self.partition_s < 0:
+            raise ConfigurationError("partition duration must be non-negative")
+        if self.crash_count < 0:
+            raise ConfigurationError("crash count must be non-negative")
+
+    @property
+    def clean(self) -> bool:
+        return (
+            self.loss_probability == 0.0
+            and self.partition_s == 0.0
+            and self.crash_count == 0
+        )
+
+    @property
+    def intensity(self) -> float:
+        """A scalar ordering of the grid (the figure's x-axis)."""
+        return (
+            self.loss_probability
+            + self.partition_s / 10.0
+            + float(self.crash_count)
+        )
+
+    def to_spec(self) -> str:
+        """Render in the grammar :func:`parse_grid` reads; round trip exact."""
+        parts = []
+        if self.loss_probability:
+            parts.append("loss=%r" % self.loss_probability)
+        if self.partition_s:
+            parts.append("part=%r" % self.partition_s)
+        if self.crash_count:
+            parts.append("crash=%d" % self.crash_count)
+        if not parts:
+            return self.name
+        return "%s@%s" % (self.name, ",".join(parts))
+
+    @classmethod
+    def parse(cls, chunk: str) -> "ChaosLevel":
+        """One level: ``name`` (clean) or ``name@loss=P,part=Ds,crash=K``."""
+        name, _, arg_text = chunk.strip().partition("@")
+        name = name.strip()
+        loss = 0.0
+        partition = 0.0
+        crashes = 0
+        for pair in filter(None, (p.strip() for p in arg_text.split(","))):
+            key, eq, value = pair.partition("=")
+            if not eq:
+                raise ConfigurationError(
+                    "malformed chaos argument %r in %r" % (pair, chunk)
+                )
+            key = key.strip().lower()
+            value = value.strip()
+            try:
+                if key == "loss":
+                    loss = float(value)
+                elif key in ("part", "partition"):
+                    if value.lower().endswith("s"):
+                        value = value[:-1]
+                    partition = float(value)
+                elif key in ("crash", "crashes"):
+                    crashes = int(value)
+                else:
+                    raise ConfigurationError(
+                        "unknown chaos argument %r in %r" % (key, chunk)
+                    )
+            except ValueError:
+                raise ConfigurationError(
+                    "cannot parse chaos argument %r in %r" % (pair, chunk)
+                )
+        level = cls(
+            name=name,
+            loss_probability=loss,
+            partition_s=partition,
+            crash_count=crashes,
+        )
+        level.validate()
+        return level
+
+
+DEFAULT_GRID: Tuple[ChaosLevel, ...] = (
+    ChaosLevel("clean"),
+    ChaosLevel("light", loss_probability=0.15),
+    ChaosLevel("moderate", loss_probability=0.30, partition_s=2.0),
+    ChaosLevel("severe", loss_probability=0.45, partition_s=3.0, crash_count=1),
+)
+"""The stock failure-rate axis: a clean baseline plus three intensities."""
+
+
+def parse_grid(spec: str) -> Tuple[ChaosLevel, ...]:
+    """Parse a ``;``-separated fault grid (``clean; storm@loss=0.4,crash=1``)."""
+    levels = [ChaosLevel.parse(chunk) for chunk in spec.split(";") if chunk.strip()]
+    if not levels:
+        raise ConfigurationError("fault grid spec %r contains no levels" % spec)
+    names = [level.name for level in levels]
+    if len(set(names)) != len(names):
+        raise ConfigurationError("fault grid has duplicate level names %r" % names)
+    return tuple(levels)
+
+
+def grid_to_spec(grid: Sequence[ChaosLevel]) -> str:
+    """Inverse of :func:`parse_grid`."""
+    if not grid:
+        raise ConfigurationError("an empty fault grid has no spec form")
+    return "; ".join(level.to_spec() for level in grid)
+
+
+def build_fault_plan(
+    level: ChaosLevel, scale: ExperimentScale, num_nodes: int
+) -> FaultPlan:
+    """Deterministic fault schedule for one (level, scale, mesh) cell.
+
+    Windows are placed relative to the nominal arrival span
+    (``total_tuples / arrival_rate``) and kept inside its first ~80 % so
+    the mesh has live traffic left to detect recoveries with:
+
+    * loss burst  -- all links, ``[0.20, 0.55) * span``;
+    * partition   -- first half of the mesh cut off at ``0.30 * span``,
+      duration capped at half the span;
+    * crashes     -- highest-id nodes, staggered starts from
+      ``0.55 * span``, each outage capped at a quarter of the span.
+    """
+    level.validate()
+    if level.crash_count >= num_nodes:
+        raise ConfigurationError(
+            "cannot crash %d of %d nodes" % (level.crash_count, num_nodes)
+        )
+    span = scale.total_tuples / scale.arrival_rate
+    events: List[FaultEvent] = []
+    if level.loss_probability > 0:
+        events.append(
+            FaultEvent(
+                kind=FaultKind.LOSS_BURST,
+                start_s=round(0.20 * span, 6),
+                duration_s=round(0.35 * span, 6),
+                loss_probability=level.loss_probability,
+            )
+        )
+    if level.partition_s > 0:
+        events.append(
+            FaultEvent(
+                kind=FaultKind.PARTITION,
+                start_s=round(0.30 * span, 6),
+                duration_s=round(min(level.partition_s, 0.5 * span), 6),
+                nodes=tuple(range(num_nodes // 2)),
+            )
+        )
+    for index in range(level.crash_count):
+        events.append(
+            FaultEvent(
+                kind=FaultKind.NODE_CRASH,
+                start_s=round((0.55 + 0.08 * index) * span, 6),
+                duration_s=round(min(1.5, 0.25 * span), 6),
+                nodes=(num_nodes - 1 - index,),
+            )
+        )
+    plan = FaultPlan.from_events(events)
+    plan.validate(num_nodes)
+    return plan
+
+
+# ----------------------------------------------------------------------
+# rows
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChaosRow:
+    """One cell of the chaos figure: (algorithm, fault level) at a scale."""
+
+    scale: str
+    algorithm: str
+    num_nodes: int
+    seed: int
+    level: str
+    loss_probability: float
+    partition_s: float
+    crash_count: int
+    fault_events: int
+    epsilon: float
+    truth_pairs: int
+    reported_pairs: int
+    total_bytes: float
+    bytes_lost: float
+    data_messages: int
+    messages_blocked: float
+    local_arrivals_dropped: float
+    failures_detected: float
+    recoveries: float
+    recovery_latency_mean_s: float
+    recovery_latency_max_s: float
+    resyncs: float
+    worst_case_s: float
+    duration_seconds: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ChaosRow":
+        names = {field.name for field in dataclasses.fields(cls)}
+        unknown = set(payload) - names
+        if unknown:
+            raise ConfigurationError(
+                "chaos row has unknown fields %s (stale file format?)"
+                % ", ".join(sorted(unknown))
+            )
+        missing = names - set(payload)
+        if missing:
+            raise ConfigurationError(
+                "chaos row is missing fields %s" % ", ".join(sorted(missing))
+            )
+        try:
+            return cls(**payload)  # type: ignore[arg-type]
+        except TypeError as error:
+            raise ConfigurationError("malformed chaos row: %s" % error)
+
+
+def worst_case_seconds(events: Iterable, end_time: float) -> float:
+    """Total simulated seconds any policy spent in worst-case mode.
+
+    Reconstructed from the hub's ``policy.worst_case_mode`` flip events:
+    per (node, stream) the active intervals are summed, with intervals
+    still open at the end of the run closed at ``end_time``.
+    """
+    opened: Dict[Tuple[object, object], float] = {}
+    total = 0.0
+    for event in events:
+        if getattr(event, "name", None) != WORST_CASE_EVENT:
+            continue
+        key = (event.node, event.attrs.get("stream"))
+        if event.attrs.get("active"):
+            opened.setdefault(key, event.time)
+        else:
+            start = opened.pop(key, None)
+            if start is not None:
+                total += event.time - start
+    for start in opened.values():
+        total += max(0.0, end_time - start)
+    return total
+
+
+# ----------------------------------------------------------------------
+# the sweep
+# ----------------------------------------------------------------------
+
+
+def run(
+    scale: str = "default",
+    algorithms: Sequence[Algorithm] = COMPARED_ALGORITHMS,
+    grid: Sequence[ChaosLevel] = DEFAULT_GRID,
+    num_nodes: int = 0,
+    reliability: Optional[ReliabilitySettings] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[ChaosRow]:
+    """Sweep ``algorithms`` x ``grid`` at one scale; one row per cell.
+
+    Every cell reuses the scale's seed and workload, so the fault axis is
+    the *only* thing varying across a row's cells.  The reliable control
+    plane is on by default (faults without retransmission or failure
+    detection just measure packet loss); telemetry is always on, with
+    per-message tracing off, so the worst-case-mode timeline is complete
+    without the event ring overflowing.
+    """
+    preset = get_scale(scale)
+    if not algorithms:
+        raise ConfigurationError("chaos sweep needs at least one algorithm")
+    levels = tuple(grid)
+    if not levels:
+        raise ConfigurationError("chaos sweep needs at least one fault level")
+    for level in levels:
+        level.validate()
+    mesh = num_nodes if num_nodes > 0 else preset.node_grid[-1]
+    settings = (
+        reliability
+        if reliability is not None
+        else ReliabilitySettings(enabled=True)
+    )
+    rows: List[ChaosRow] = []
+    for algorithm in algorithms:
+        for level in levels:
+            plan = build_fault_plan(level, preset, mesh)
+            config = system_config(
+                preset,
+                algorithm,
+                mesh,
+                faults=plan,
+                reliability=settings,
+                telemetry=True,
+                trace_messages=False,
+            )
+            if progress is not None:
+                progress("chaos %s %s/%s" % (scale, algorithm.value, level.name))
+            system = DistributedJoinSystem(config)
+            result = system.run()
+            worst = worst_case_seconds(
+                system.telemetry.events(), result.duration_seconds
+            )
+            reliability_counters = result.reliability
+            faults = result.faults
+            rows.append(
+                ChaosRow(
+                    scale=preset.name,
+                    algorithm=algorithm.value,
+                    num_nodes=mesh,
+                    seed=config.seed,
+                    level=level.name,
+                    loss_probability=level.loss_probability,
+                    partition_s=level.partition_s,
+                    crash_count=level.crash_count,
+                    fault_events=len(plan.events),
+                    epsilon=result.epsilon,
+                    truth_pairs=result.truth_pairs,
+                    reported_pairs=result.reported_pairs,
+                    total_bytes=float(result.traffic.get("total_bytes", 0.0)),
+                    bytes_lost=float(result.traffic.get("bytes_lost", 0.0)),
+                    data_messages=result.data_messages,
+                    messages_blocked=float(faults.get("messages_blocked", 0.0)),
+                    local_arrivals_dropped=float(
+                        faults.get("local_arrivals_dropped", 0.0)
+                    ),
+                    failures_detected=float(
+                        reliability_counters.get("failures_detected", 0.0)
+                    ),
+                    recoveries=float(reliability_counters.get("recoveries", 0.0)),
+                    recovery_latency_mean_s=float(
+                        reliability_counters.get("recovery_latency_mean_s", 0.0)
+                    ),
+                    recovery_latency_max_s=float(
+                        reliability_counters.get("recovery_latency_max_s", 0.0)
+                    ),
+                    resyncs=float(reliability_counters.get("resyncs", 0.0)),
+                    worst_case_s=worst,
+                    duration_seconds=result.duration_seconds,
+                )
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# serialization (canonical: the golden tests diff these bytes)
+# ----------------------------------------------------------------------
+
+
+def rows_to_payload(rows: Sequence[ChaosRow]) -> Dict[str, object]:
+    return {
+        "format_version": CHAOS_FORMAT_VERSION,
+        "rows": [row.as_dict() for row in rows],
+    }
+
+
+def rows_from_payload(payload: Dict[str, object]) -> List[ChaosRow]:
+    version = payload.get("format_version")
+    if version != CHAOS_FORMAT_VERSION:
+        raise ConfigurationError(
+            "unsupported chaos result version %r (expected %d)"
+            % (version, CHAOS_FORMAT_VERSION)
+        )
+    unknown = set(payload) - {"format_version", "rows"}
+    if unknown:
+        raise ConfigurationError(
+            "chaos payload has unknown keys %s (stale file format?)"
+            % ", ".join(sorted(unknown))
+        )
+    return [ChaosRow.from_dict(entry) for entry in payload.get("rows", [])]
+
+
+def rows_to_json(rows: Sequence[ChaosRow]) -> str:
+    """Canonical JSON: sorted keys, fixed indent, trailing newline."""
+    return json.dumps(rows_to_payload(rows), indent=2, sort_keys=True) + "\n"
+
+
+def rows_from_json(text: str) -> List[ChaosRow]:
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ConfigurationError("chaos results are not valid JSON: %s" % error)
+    if not isinstance(payload, dict):
+        raise ConfigurationError("chaos results must be a JSON object")
+    return rows_from_payload(payload)
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+
+
+def format_result(rows: Sequence[ChaosRow]) -> str:
+    return format_table(
+        [
+            "algo",
+            "level",
+            "eps",
+            "kB sent",
+            "kB lost",
+            "blocked",
+            "detects",
+            "recov",
+            "rec mean s",
+            "worst-case s",
+            "resyncs",
+        ],
+        [
+            (
+                row.algorithm,
+                row.level,
+                row.epsilon,
+                row.total_bytes / 1000.0,
+                row.bytes_lost / 1000.0,
+                row.messages_blocked,
+                row.failures_detected,
+                row.recoveries,
+                row.recovery_latency_mean_s,
+                row.worst_case_s,
+                row.resyncs,
+            )
+            for row in rows
+        ],
+    )
+
+
+def level_order(rows: Sequence[ChaosRow]) -> List[str]:
+    """Grid levels in first-appearance order (the figure's x-axis)."""
+    seen: List[str] = []
+    for row in rows:
+        if row.level not in seen:
+            seen.append(row.level)
+    return seen
+
+
+def figure(rows: Sequence[ChaosRow]) -> str:
+    """The accuracy-vs-failure-rate figure, as ASCII.
+
+    Top panel: epsilon per algorithm across the fault grid (line chart,
+    x = level index).  Bottom panel: bytes destroyed per level (grouped
+    bars, one glyph per algorithm).
+    """
+    if not rows:
+        raise ConfigurationError("nothing to plot")
+    levels = level_order(rows)
+    index = {name: i for i, name in enumerate(levels)}
+    eps_series: Dict[str, List[Tuple[float, float]]] = {}
+    lost_series: Dict[str, List[float]] = {}
+    for row in rows:
+        eps_series.setdefault(row.algorithm, []).append(
+            (float(index[row.level]), row.epsilon)
+        )
+        lost_series.setdefault(row.algorithm, []).append(row.bytes_lost / 1000.0)
+    lines = [
+        "epsilon vs fault level (x: %s)"
+        % ", ".join("%d=%s" % (i, name) for i, name in enumerate(levels)),
+        "",
+        line_chart(eps_series, y_label="epsilon"),
+        "",
+        "kilobytes destroyed by faults, per level",
+        "",
+        bar_chart(levels, lost_series, y_label="kB lost"),
+    ]
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.chaos",
+        description="accuracy-vs-failure-rate sweep under injected faults",
+    )
+    parser.add_argument(
+        "scale",
+        nargs="?",
+        default="default",
+        choices=["smoke", "bench", "default", "full"],
+    )
+    parser.add_argument(
+        "--fault-grid",
+        default="",
+        metavar="SPEC",
+        help="';'-separated levels, e.g. 'clean; storm@loss=0.4,part=3s,crash=1' "
+        "(default: the stock clean/light/moderate/severe grid)",
+    )
+    parser.add_argument(
+        "--algorithms",
+        default="",
+        metavar="A,B,...",
+        help="comma-separated algorithm subset (default: BASE,DFT,DFTT,BLOOM,SKCH)",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=0, help="mesh size (default: scale's largest)"
+    )
+    parser.add_argument(
+        "--out", default="", metavar="FILE", help="persist the rows as JSON"
+    )
+    parser.add_argument(
+        "--figure", default="", metavar="FILE", help="also write the ASCII figure"
+    )
+    parser.add_argument(
+        "--baseline",
+        default="",
+        metavar="FILE",
+        help="regression-gate the sweep against previously saved rows",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="relative drift tolerance for --baseline (default: 0.15)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.errors import ReproError
+    from repro.experiments.persistence import load_chaos_rows, save_chaos_rows
+    from repro.experiments.regression import compare_chaos
+
+    args = build_parser().parse_args(argv)
+    try:
+        grid = parse_grid(args.fault_grid) if args.fault_grid else DEFAULT_GRID
+        if args.algorithms:
+            algorithms = tuple(
+                Algorithm(name.strip().upper())
+                for name in args.algorithms.split(",")
+                if name.strip()
+            )
+        else:
+            algorithms = COMPARED_ALGORITHMS
+        rows = run(
+            scale=args.scale,
+            algorithms=algorithms,
+            grid=grid,
+            num_nodes=args.nodes,
+            progress=lambda text: print(text, file=sys.stderr),
+        )
+        print(format_result(rows))
+        print()
+        chart = figure(rows)
+        print(chart)
+        if args.out:
+            save_chaos_rows(rows, args.out)
+            print("\nsaved %d rows to %s" % (len(rows), args.out))
+        if args.figure:
+            with open(args.figure, "w") as handle:
+                handle.write(chart + "\n")
+            print("wrote figure to %s" % args.figure)
+        if args.baseline:
+            report = compare_chaos(
+                load_chaos_rows(args.baseline), rows, tolerance=args.tolerance
+            )
+            print()
+            print(report.format())
+            if not report.passed:
+                return 1
+    except ValueError as error:
+        # e.g. an unknown Algorithm name; argparse convention: exit 2.
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+    except ReproError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,8 +14,9 @@ length, kappa grid relative to W) so the figure shapes are preserved.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.config import (
     Algorithm,
@@ -26,6 +27,8 @@ from repro.config import (
 )
 from repro.core.flow import FlowSettings
 from repro.errors import ConfigurationError
+from repro.net.faults import FaultPlan
+from repro.net.reliable import ReliabilitySettings
 from repro.telemetry.settings import TelemetrySettings
 
 
@@ -118,8 +121,17 @@ def system_config(
     seed_offset: int = 0,
     telemetry: bool = False,
     telemetry_sample_interval_s: float = 1.0,
+    trace_messages: bool = True,
+    faults: Optional[FaultPlan] = None,
+    reliability: Optional[ReliabilitySettings] = None,
 ) -> SystemConfig:
-    """One experiment run's configuration, derived from a scale preset."""
+    """One experiment run's configuration, derived from a scale preset.
+
+    ``faults`` makes a fault schedule a first-class experiment knob (the
+    chaos sweep threads a whole grid of plans through here); ``reliability``
+    turns the control-plane ARQ / failure detector on for the run.  Both
+    default to the paper's clean-WAN behaviour.
+    """
     policy = PolicyConfig(
         algorithm=algorithm,
         kappa=kappa if kappa > 0 else float(scale.default_kappa),
@@ -131,7 +143,7 @@ def system_config(
         domain=scale.domain,
         arrival_rate=arrival_rate if arrival_rate > 0 else scale.arrival_rate,
     )
-    return SystemConfig(
+    config = SystemConfig(
         num_nodes=num_nodes,
         window_size=scale.window_size,
         policy=policy,
@@ -139,9 +151,16 @@ def system_config(
         telemetry=TelemetrySettings(
             enabled=telemetry,
             sample_interval_s=telemetry_sample_interval_s,
+            trace_messages=trace_messages,
         ),
         seed=scale.seed + seed_offset,
     )
+    if faults is not None and not faults.empty:
+        faults.validate(num_nodes)
+        config = dataclasses.replace(config, faults=faults)
+    if reliability is not None:
+        config = dataclasses.replace(config, reliability=reliability)
+    return config
 
 
 COMPARED_ALGORITHMS: Tuple[Algorithm, ...] = (

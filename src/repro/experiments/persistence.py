@@ -1,22 +1,55 @@
-"""Result persistence: RunResult to/from JSON.
+"""Result persistence: RunResult and ChaosRow sets to/from JSON.
 
 Experiment sweeps are expensive; persisting their results lets reports
 and regression comparisons run without re-simulating.  The format is a
 plain JSON object mirroring :class:`~repro.core.results.RunResult`'s
 fields, with integer node keys stringified (JSON objects key on strings)
 and restored on load.
+
+Loading is *strict*: a payload carrying keys this version does not know
+(or missing ones it requires) raises
+:class:`~repro.errors.ConfigurationError` instead of silently dropping
+them, so a stale ``BENCH_*``/result file fails loudly in the regression
+gate rather than diffing garbage.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import List, Union
+from typing import List, Sequence, Union
 
 from repro.core.results import RunResult
 from repro.errors import ConfigurationError
 
 FORMAT_VERSION = 1
+
+RESULT_KEYS = frozenset(
+    {
+        "format_version",
+        "config",
+        "truth_pairs",
+        "reported_pairs",
+        "duplicate_reports",
+        "spurious_reports",
+        "tuples_arrived",
+        "duration_seconds",
+        "arrival_span_seconds",
+        "traffic",
+        "messages_by_kind",
+        "node_diagnostics",
+        "throughput_series",
+        "sustained_throughput",
+        "per_query",
+        "latency",
+        "reliability",
+        "faults",
+    }
+)
+"""Exactly the keys :func:`result_to_dict` writes."""
+
+OPTIONAL_RESULT_KEYS = frozenset({"per_query", "latency", "reliability", "faults"})
+"""Keys older files may legitimately lack (they default to empty)."""
 
 
 def result_to_dict(result: RunResult) -> dict:
@@ -46,6 +79,23 @@ def result_to_dict(result: RunResult) -> dict:
     }
 
 
+def _check_schema(payload: dict) -> None:
+    """Reject payloads whose key set disagrees with this code version."""
+    keys = set(payload)
+    unknown = keys - RESULT_KEYS
+    if unknown:
+        raise ConfigurationError(
+            "result payload has unknown keys %s (written by a newer or "
+            "foreign format?)" % ", ".join(sorted(unknown))
+        )
+    missing = RESULT_KEYS - keys - OPTIONAL_RESULT_KEYS
+    if missing:
+        raise ConfigurationError(
+            "result payload is missing keys %s (truncated or stale file?)"
+            % ", ".join(sorted(missing))
+        )
+
+
 def result_from_dict(payload: dict) -> RunResult:
     """Rebuild a :class:`RunResult` from :func:`result_to_dict` output."""
     version = payload.get("format_version")
@@ -54,6 +104,7 @@ def result_from_dict(payload: dict) -> RunResult:
             "unsupported result format version %r (expected %d)"
             % (version, FORMAT_VERSION)
         )
+    _check_schema(payload)
     return RunResult(
         config=payload["config"],
         truth_pairs=int(payload["truth_pairs"]),
@@ -95,4 +146,36 @@ def load_results(path: Union[str, Path]) -> List[RunResult]:
     payload = json.loads(file_path.read_text())
     if payload.get("format_version") != FORMAT_VERSION:
         raise ConfigurationError("unsupported results file version")
+    unknown = set(payload) - {"format_version", "results"}
+    if unknown:
+        raise ConfigurationError(
+            "results file %s has unknown top-level keys %s"
+            % (file_path, ", ".join(sorted(unknown)))
+        )
     return [result_from_dict(entry) for entry in payload["results"]]
+
+
+# ----------------------------------------------------------------------
+# chaos sweeps
+# ----------------------------------------------------------------------
+
+
+def save_chaos_rows(rows: Sequence, path: Union[str, Path]) -> None:
+    """Write a chaos sweep's rows in the canonical (golden-diffable) form."""
+    from repro.experiments.chaos import rows_to_json
+
+    Path(path).write_text(rows_to_json(rows))
+
+
+def load_chaos_rows(path: Union[str, Path]) -> List:
+    """Read rows previously written by :func:`save_chaos_rows`.
+
+    Strict like :func:`load_results`: unknown row fields or a version
+    mismatch raise :class:`ConfigurationError`.
+    """
+    from repro.experiments.chaos import rows_from_json
+
+    file_path = Path(path)
+    if not file_path.exists():
+        raise ConfigurationError("no chaos results file at %s" % file_path)
+    return rows_from_json(file_path.read_text())

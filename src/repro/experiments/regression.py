@@ -6,6 +6,13 @@ changing the code, rerun the sweep and diff against the baseline.  Runs
 are matched by their configuration echo (minus the fields expected to
 vary), and each headline metric's drift is reported against a relative
 tolerance.
+
+Chaos sweeps gate the same way through :func:`compare_chaos`: rows are
+matched on (scale, algorithm, mesh, fault level, seed) and the chaos
+headline metrics -- epsilon, bytes on the wire, recovery latency, time in
+worst-case mode -- are diffed.  Because chaos runs are byte-deterministic
+per seed + plan, a same-code comparison shows exactly zero drift; any
+nonzero drift is a real behavioural change.
 """
 
 from __future__ import annotations
@@ -135,6 +142,71 @@ def compare(
                     metric=metric,
                     baseline=float(reference_summary[metric]),
                     candidate=float(candidate_summary[metric]),
+                    tolerance=tolerance,
+                )
+            )
+    unmatched_baseline = [key for key in baseline_by_key if key not in matched]
+    return RegressionReport(
+        drifts=drifts,
+        unmatched_baseline=unmatched_baseline,
+        unmatched_candidate=unmatched_candidate,
+    )
+
+
+CHAOS_MATCH_FIELDS = ("scale", "algorithm", "num_nodes", "level", "seed")
+"""Fields identifying 'the same chaos cell' across code versions."""
+
+CHAOS_COMPARED_METRICS = (
+    "epsilon",
+    "total_bytes",
+    "bytes_lost",
+    "messages_blocked",
+    "recovery_latency_mean_s",
+    "worst_case_s",
+)
+
+
+def chaos_key(row) -> Tuple:
+    """The identity of a chaos cell for baseline matching."""
+    payload = row.as_dict()
+    return tuple(payload.get(field) for field in CHAOS_MATCH_FIELDS)
+
+
+def compare_chaos(
+    baseline: Sequence,
+    candidate: Sequence,
+    tolerance: float = 0.15,
+    metrics: Sequence[str] = CHAOS_COMPARED_METRICS,
+) -> RegressionReport:
+    """Match chaos rows by cell identity and diff their headline metrics."""
+    if tolerance < 0:
+        raise ConfigurationError("tolerance must be non-negative")
+    baseline_by_key: Dict[Tuple, object] = {}
+    for row in baseline:
+        key = chaos_key(row)
+        if key in baseline_by_key:
+            raise ConfigurationError("duplicate baseline chaos cell %r" % (key,))
+        baseline_by_key[key] = row
+
+    drifts: List[MetricDrift] = []
+    matched = set()
+    unmatched_candidate = []
+    for row in candidate:
+        key = chaos_key(row)
+        reference = baseline_by_key.get(key)
+        if reference is None:
+            unmatched_candidate.append(key)
+            continue
+        matched.add(key)
+        reference_payload = reference.as_dict()
+        candidate_payload = row.as_dict()
+        for metric in metrics:
+            drifts.append(
+                MetricDrift(
+                    key=key,
+                    metric=metric,
+                    baseline=float(reference_payload[metric]),
+                    candidate=float(candidate_payload[metric]),
                     tolerance=tolerance,
                 )
             )

@@ -16,7 +16,18 @@ import sys
 import time
 
 from repro.config import WorkloadKind
-from repro.experiments import fig3, fig4, fig5, fig6, fig8, fig9, fig10, fig11, table1
+from repro.experiments import (
+    chaos,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    table1,
+)
 from repro.experiments.ascii_plot import line_chart
 
 ALL_EXPERIMENTS = (
@@ -29,6 +40,7 @@ ALL_EXPERIMENTS = (
     "fig9",
     "fig10",
     "fig11",
+    "chaos",
 )
 
 
@@ -126,6 +138,13 @@ def run_report(scale: str, only) -> None:
                 (row.num_nodes, row.sustained_throughput)
             )
         print(line_chart(series_t, y_label="sustained results/s"))
+
+    if "chaos" in selected:
+        _banner("Chaos sweep -- accuracy vs failure rate (scale=%s)" % scale)
+        chaos_rows = chaos.run(scale)
+        print(chaos.format_result(chaos_rows))
+        print()
+        print(chaos.figure(chaos_rows))
 
     print()
     print("report complete in %.1f s" % (time.time() - started))

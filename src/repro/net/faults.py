@@ -111,6 +111,20 @@ class FaultEvent:
             return True
         return (source, destination) in self.links
 
+    def to_spec(self) -> str:
+        """Render this event in the compact grammar :meth:`FaultPlan.parse`
+        reads (``kind@t=...,d=...,...``); the round trip is exact."""
+        parts = ["t=%r" % self.start_s, "d=%r" % self.duration_s]
+        if self.nodes:
+            parts.append("nodes=%s" % "+".join(str(n) for n in self.nodes))
+        for source, destination in self.links:
+            parts.append("link=%d-%d" % (source, destination))
+        if self.loss_probability:
+            parts.append("p=%r" % self.loss_probability)
+        if self.extra_latency_s:
+            parts.append("extra=%r" % self.extra_latency_s)
+        return "%s@%s" % (self.kind.value, ",".join(parts))
+
     def as_dict(self) -> Dict[str, object]:
         payload: Dict[str, object] = {
             "kind": self.kind.value,
@@ -167,6 +181,20 @@ class FaultPlan:
 
     def as_dicts(self) -> List[Dict[str, object]]:
         return [event.as_dict() for event in self.events]
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialize to the JSON array :meth:`from_json` reads back."""
+        return json.dumps(self.as_dicts(), indent=indent, sort_keys=True)
+
+    def to_spec(self) -> str:
+        """Render the whole plan in the compact :meth:`parse` grammar.
+
+        Only defined for non-empty plans (the grammar has no spelling for
+        "no faults"; an empty plan is just the absence of a spec).
+        """
+        if not self.events:
+            raise ConfigurationError("an empty fault plan has no spec form")
+        return "; ".join(event.to_spec() for event in self.events)
 
     @classmethod
     def from_events(cls, events: Sequence[FaultEvent]) -> "FaultPlan":

@@ -1,9 +1,9 @@
-"""Unit tests for the ASCII line charts."""
+"""Unit tests for the ASCII line and bar charts."""
 
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.experiments.ascii_plot import line_chart
+from repro.experiments.ascii_plot import bar_chart, line_chart
 
 
 def test_single_series_renders():
@@ -45,3 +45,57 @@ def test_validation():
         line_chart({"S": [(0, 1.0)]}, width=4)
     with pytest.raises(ConfigurationError):
         line_chart({str(i): [(0, i)] for i in range(20)})
+
+
+def test_bar_chart_renders_grouped_bars():
+    chart = bar_chart(["clean", "storm"], {"A": [0.0, 4.0], "B": [2.0, 1.0]})
+    assert "*" in chart and "o" in chart
+    assert "A" in chart and "B" in chart
+    # Groups are indexed under the axis, spelled out on the mapping line.
+    assert "x: 0=clean  1=storm" in chart
+
+
+def test_bar_chart_heights_scale_with_values():
+    chart = bar_chart(["lo", "hi"], {"S": [1.0, 10.0]}, height=10)
+    columns = [line.split("|")[1] for line in chart.splitlines() if "|" in line]
+    lo_height = sum(1 for row in columns if row[0] == "*")
+    hi_height = sum(1 for row in columns if len(row) > 3 and row[3] == "*")
+    assert hi_height == 10
+    assert 1 <= lo_height <= 2
+
+
+def test_bar_chart_small_nonzero_values_still_visible():
+    chart = bar_chart(["a", "b"], {"S": [0.001, 100.0]})
+    columns = [line.split("|")[1] for line in chart.splitlines() if "|" in line]
+    assert any(row[0] == "*" for row in columns)  # tiny bar gets >= 1 cell
+
+
+def test_bar_chart_zero_values_draw_nothing():
+    chart = bar_chart(["a", "b"], {"S": [0.0, 5.0]})
+    columns = [line.split("|")[1] for line in chart.splitlines() if "|" in line]
+    assert all(row[0] == " " for row in columns)
+
+
+def test_bar_chart_y_label_in_legend():
+    chart = bar_chart(["a"], {"S": [1.0]}, y_label="kB lost")
+    assert "[y: kB lost]" in chart
+
+
+def test_bar_chart_all_zero_does_not_crash():
+    chart = bar_chart(["a"], {"S": [0.0]})
+    assert "S" in chart
+
+
+def test_bar_chart_validation():
+    with pytest.raises(ConfigurationError):
+        bar_chart([], {"S": [1.0]})
+    with pytest.raises(ConfigurationError):
+        bar_chart(["a"], {})
+    with pytest.raises(ConfigurationError):
+        bar_chart(["a"], {"S": [1.0]}, height=3)
+    with pytest.raises(ConfigurationError):
+        bar_chart(["a", "b"], {"S": [1.0]})  # length mismatch
+    with pytest.raises(ConfigurationError):
+        bar_chart(["a"], {"S": [-1.0]})  # negative value
+    with pytest.raises(ConfigurationError):
+        bar_chart(["a"], {str(i): [1.0] for i in range(20)})  # too many series

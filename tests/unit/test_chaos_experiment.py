@@ -1,0 +1,299 @@
+"""Unit tests for the chaos-sweep experiment layer (no simulation)."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.chaos import (
+    CHAOS_FORMAT_VERSION,
+    ChaosLevel,
+    ChaosRow,
+    DEFAULT_GRID,
+    build_fault_plan,
+    figure,
+    format_result,
+    grid_to_spec,
+    level_order,
+    parse_grid,
+    rows_from_json,
+    rows_from_payload,
+    rows_to_json,
+    rows_to_payload,
+    worst_case_seconds,
+)
+from repro.experiments.harness import get_scale
+from repro.experiments.regression import compare_chaos
+from repro.net.faults import FaultKind
+from repro.telemetry.events import TelemetryEvent
+
+
+def make_row(**overrides):
+    base = dict(
+        scale="smoke",
+        algorithm="DFTT",
+        num_nodes=4,
+        seed=2007,
+        level="storm",
+        loss_probability=0.4,
+        partition_s=2.0,
+        crash_count=1,
+        fault_events=3,
+        epsilon=0.21,
+        truth_pairs=1000,
+        reported_pairs=790,
+        total_bytes=320_000.0,
+        bytes_lost=91_000.0,
+        data_messages=4000,
+        messages_blocked=1179.0,
+        local_arrivals_dropped=89.0,
+        failures_detected=7.0,
+        recoveries=7.0,
+        recovery_latency_mean_s=0.65,
+        recovery_latency_max_s=1.4,
+        resyncs=7.0,
+        worst_case_s=3.5,
+        duration_seconds=9.1,
+    )
+    base.update(overrides)
+    return ChaosRow(**base)
+
+
+class TestChaosLevel:
+    def test_parse_bare_name_is_clean(self):
+        level = ChaosLevel.parse("clean")
+        assert level.clean
+        assert level.name == "clean"
+
+    def test_parse_full_spec(self):
+        level = ChaosLevel.parse("storm@loss=0.4,part=2s,crash=1")
+        assert level == ChaosLevel("storm", 0.4, 2.0, 1)
+
+    def test_spec_round_trip(self):
+        for level in DEFAULT_GRID + (ChaosLevel("x", 0.125, 3.75, 2),):
+            assert ChaosLevel.parse(level.to_spec()) == level
+
+    def test_grid_round_trip(self):
+        assert parse_grid(grid_to_spec(DEFAULT_GRID)) == DEFAULT_GRID
+
+    def test_intensity_orders_default_grid(self):
+        intensities = [level.intensity for level in DEFAULT_GRID]
+        assert intensities == sorted(intensities)
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "",
+            "storm@loss",  # missing '='
+            "storm@loss=high",  # unparsable number
+            "storm@wind=3",  # unknown knob
+            "storm@loss=1.5",  # probability out of range
+            "storm@part=-1",  # negative duration
+            "storm@crash=-1",  # negative count
+            "bad name@loss=0.1",  # name must be a bare word
+        ],
+    )
+    def test_invalid_levels_raise(self, spec):
+        with pytest.raises(ConfigurationError):
+            ChaosLevel.parse(spec)
+
+    def test_grid_rejects_duplicates_and_emptiness(self):
+        with pytest.raises(ConfigurationError):
+            parse_grid("clean; clean")
+        with pytest.raises(ConfigurationError):
+            parse_grid(" ; ")
+
+
+class TestFaultPlanBuilder:
+    def test_clean_level_builds_empty_plan(self):
+        plan = build_fault_plan(ChaosLevel("clean"), get_scale("smoke"), 4)
+        assert plan.empty
+
+    def test_severe_level_builds_all_three_classes(self):
+        scale = get_scale("smoke")
+        plan = build_fault_plan(
+            ChaosLevel("severe", 0.45, 3.0, 1), scale, 4
+        )
+        kinds = {event.kind for event in plan.events}
+        assert kinds == {
+            FaultKind.LOSS_BURST,
+            FaultKind.PARTITION,
+            FaultKind.NODE_CRASH,
+        }
+        span = scale.total_tuples / scale.arrival_rate
+        for event in plan.events:
+            assert 0 <= event.start_s < span
+        crash = next(e for e in plan.events if e.kind is FaultKind.NODE_CRASH)
+        assert crash.nodes == (3,)  # highest id first
+
+    def test_crashes_staggered_over_distinct_nodes(self):
+        plan = build_fault_plan(
+            ChaosLevel("meltdown", crash_count=3), get_scale("smoke"), 8
+        )
+        crashes = [e for e in plan.events if e.kind is FaultKind.NODE_CRASH]
+        assert [e.nodes for e in crashes] == [(7,), (6,), (5,)]
+        starts = [e.start_s for e in crashes]
+        assert starts == sorted(starts) and len(set(starts)) == 3
+
+    def test_partition_duration_capped_to_half_span(self):
+        scale = get_scale("smoke")
+        span = scale.total_tuples / scale.arrival_rate
+        plan = build_fault_plan(ChaosLevel("split", partition_s=10_000.0), scale, 4)
+        (partition,) = plan.events
+        assert partition.duration_s <= 0.5 * span + 1e-9
+
+    def test_too_many_crashes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_fault_plan(ChaosLevel("boom", crash_count=4), get_scale("smoke"), 4)
+
+    def test_plans_are_deterministic(self):
+        scale = get_scale("bench")
+        level = ChaosLevel("storm", 0.3, 2.0, 1)
+        assert build_fault_plan(level, scale, 8) == build_fault_plan(level, scale, 8)
+
+
+def worst_case_event(time, node, stream, active):
+    return TelemetryEvent(
+        seq=0,
+        time=time,
+        name="policy.worst_case_mode",
+        category="policy",
+        node=node,
+        attrs={"stream": stream, "active": active},
+    )
+
+
+class TestWorstCaseSeconds:
+    def test_closed_intervals_sum(self):
+        events = [
+            worst_case_event(1.0, 0, "R", True),
+            worst_case_event(3.0, 0, "R", False),
+            worst_case_event(4.0, 1, "S", True),
+            worst_case_event(4.5, 1, "S", False),
+        ]
+        assert worst_case_seconds(events, end_time=10.0) == pytest.approx(2.5)
+
+    def test_open_interval_closed_at_end(self):
+        events = [worst_case_event(6.0, 0, "R", True)]
+        assert worst_case_seconds(events, end_time=10.0) == pytest.approx(4.0)
+
+    def test_streams_and_nodes_tracked_independently(self):
+        events = [
+            worst_case_event(0.0, 0, "R", True),
+            worst_case_event(0.0, 0, "S", True),
+            worst_case_event(1.0, 0, "R", False),
+        ]
+        assert worst_case_seconds(events, end_time=2.0) == pytest.approx(3.0)
+
+    def test_unrelated_events_ignored(self):
+        other = TelemetryEvent(
+            seq=0, time=1.0, name="health.suspected", category="health"
+        )
+        assert worst_case_seconds([other], end_time=5.0) == 0.0
+
+    def test_duplicate_activation_does_not_restart_interval(self):
+        events = [
+            worst_case_event(1.0, 0, "R", True),
+            worst_case_event(2.0, 0, "R", True),
+            worst_case_event(3.0, 0, "R", False),
+        ]
+        assert worst_case_seconds(events, end_time=10.0) == pytest.approx(2.0)
+
+
+class TestRowSerialization:
+    def test_round_trip(self):
+        rows = [make_row(), make_row(level="clean", epsilon=0.07)]
+        assert rows_from_json(rows_to_json(rows)) == rows
+
+    def test_canonical_json_is_stable(self):
+        rows = [make_row()]
+        assert rows_to_json(rows) == rows_to_json(list(rows))
+        assert rows_to_json(rows).endswith("\n")
+
+    def test_version_mismatch_rejected(self):
+        payload = rows_to_payload([make_row()])
+        payload["format_version"] = CHAOS_FORMAT_VERSION + 1
+        with pytest.raises(ConfigurationError):
+            rows_from_payload(payload)
+
+    def test_unknown_row_field_rejected(self):
+        payload = rows_to_payload([make_row()])
+        payload["rows"][0]["surprise"] = 1
+        with pytest.raises(ConfigurationError):
+            rows_from_payload(payload)
+
+    def test_missing_row_field_rejected(self):
+        payload = rows_to_payload([make_row()])
+        del payload["rows"][0]["epsilon"]
+        with pytest.raises(ConfigurationError):
+            rows_from_payload(payload)
+
+    def test_unknown_top_level_key_rejected(self):
+        payload = rows_to_payload([make_row()])
+        payload["extra"] = True
+        with pytest.raises(ConfigurationError):
+            rows_from_payload(payload)
+
+    def test_non_object_json_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rows_from_json("[]")
+        with pytest.raises(ConfigurationError):
+            rows_from_json("not json")
+
+
+class TestRendering:
+    def rows(self):
+        return [
+            make_row(algorithm="DFTT", level="clean", epsilon=0.05, bytes_lost=0.0),
+            make_row(algorithm="DFTT", level="storm", epsilon=0.2),
+            make_row(algorithm="BASE", level="clean", epsilon=0.0, bytes_lost=0.0),
+            make_row(algorithm="BASE", level="storm", epsilon=0.12),
+        ]
+
+    def test_table_lists_every_cell(self):
+        table = format_result(self.rows())
+        assert "DFTT" in table and "BASE" in table
+        assert "clean" in table and "storm" in table
+        assert "worst-case s" in table
+
+    def test_level_order_is_first_appearance(self):
+        assert level_order(self.rows()) == ["clean", "storm"]
+
+    def test_figure_contains_both_panels(self):
+        chart = figure(self.rows())
+        assert "epsilon vs fault level" in chart
+        assert "0=clean" in chart and "1=storm" in chart
+        assert "kB lost" in chart
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            figure([])
+
+
+class TestChaosRegressionGate:
+    def test_identical_rows_pass_with_zero_drift(self):
+        rows = [make_row(), make_row(algorithm="BASE")]
+        report = compare_chaos(rows, [make_row(), make_row(algorithm="BASE")])
+        assert report.passed
+        assert all(drift.relative_change == 0.0 for drift in report.drifts)
+
+    def test_epsilon_drift_fails_the_gate(self):
+        baseline = [make_row()]
+        candidate = [make_row(epsilon=0.21 * 1.5)]
+        report = compare_chaos(baseline, candidate, tolerance=0.15)
+        assert not report.passed
+        assert any(d.metric == "epsilon" for d in report.regressions)
+
+    def test_missing_cell_fails_the_gate(self):
+        baseline = [make_row(), make_row(level="clean")]
+        report = compare_chaos(baseline, [make_row()])
+        assert not report.passed
+        assert len(report.unmatched_baseline) == 1
+
+    def test_duplicate_baseline_cell_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compare_chaos([make_row(), make_row()], [make_row()])
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compare_chaos([make_row()], [make_row()], tolerance=-0.1)

@@ -79,3 +79,26 @@ class TestMain:
         main(FAST + ["--json", "--seed", "11"])
         second = json.loads(capsys.readouterr().out)
         assert first["metrics"] == second["metrics"]
+
+
+class TestExperimentsDispatch:
+    def test_help_lists_subcommands(self, capsys):
+        assert main(["experiments", "--help"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos" in out and "report" in out
+
+    def test_missing_subcommand_is_usage_error(self, capsys):
+        assert main(["experiments"]) == 2
+        assert "chaos" in capsys.readouterr().err
+
+    def test_unknown_subcommand_is_usage_error(self, capsys):
+        assert main(["experiments", "mystery"]) == 2
+        assert "mystery" in capsys.readouterr().err
+
+    def test_chaos_subcommand_reaches_its_parser(self, capsys):
+        # --help exits 0 from chaos's own argparse; proves dispatch wiring
+        # without paying for a sweep.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["experiments", "chaos", "--help"])
+        assert excinfo.value.code == 0
+        assert "--fault-grid" in capsys.readouterr().out

@@ -105,6 +105,27 @@ class TestFaultPlan:
         with pytest.raises(ConfigurationError):
             FaultPlan.parse("", num_nodes=4)
 
+    def test_to_json_is_canonical_and_invertible(self):
+        plan = FaultPlan.from_events(
+            [outage(), FaultEvent(FaultKind.NODE_CRASH, 5.0, 1.0, nodes=(2,))]
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+        assert FaultPlan.from_json(plan.to_json(indent=2)) == plan
+        # sort_keys=True makes the text stable across dict orderings.
+        assert plan.to_json() == FaultPlan.from_json(plan.to_json()).to_json()
+
+    def test_to_spec_round_trips_through_parse(self):
+        plan = FaultPlan.parse(
+            "partition@t=10s,d=5s; crash@t=8,d=2,node=1; loss@t=3,d=1,p=0.3;"
+            " latency@t=4,d=1,extra=0.25; outage@t=1,d=1,link=0-2",
+            num_nodes=4,
+        )
+        assert FaultPlan.parse(plan.to_spec(), num_nodes=4) == plan
+
+    def test_empty_plan_has_no_spec(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan().to_spec()
+
     def test_load_fault_plan_from_files(self, tmp_path):
         plan = FaultPlan.from_events([outage()])
         json_file = tmp_path / "plan.json"

@@ -12,8 +12,8 @@ from repro.experiments.persistence import (
 )
 
 
-def make_result():
-    return RunResult(
+def make_result(**overrides):
+    fields = dict(
         config={"algorithm": "DFTT", "num_nodes": 4},
         truth_pairs=1000,
         reported_pairs=850,
@@ -28,6 +28,8 @@ def make_result():
         throughput_series=[(0, 40), (1, 42)],
         sustained_throughput=41.0,
     )
+    fields.update(overrides)
+    return RunResult(**fields)
 
 
 def test_round_trip_via_dict():
@@ -62,3 +64,92 @@ def test_bad_version_rejected():
     payload["format_version"] = 99
     with pytest.raises(ConfigurationError):
         result_from_dict(payload)
+
+
+def make_faulted_result():
+    """A run that saw injected faults and ran the recovery machinery."""
+    return make_result(
+        faults={
+            "fault_events": 3.0,
+            "messages_blocked": 746.0,
+            "activations_loss_burst": 1.0,
+            "activations_node_crash": 2.0,
+            "local_arrivals_dropped": 89.0,
+        },
+        reliability={
+            "retransmits": 41.0,
+            "failures_detected": 7.0,
+            "recoveries": 7.0,
+            "recovery_latency_mean_s": 0.6542,
+            "recovery_latency_max_s": 1.4,
+            "resyncs": 7.0,
+            "forced_broadcast_sends": 120.0,
+        },
+    )
+
+
+def test_fault_fields_round_trip_exactly(tmp_path):
+    original = make_faulted_result()
+    restored = result_from_dict(result_to_dict(original))
+    assert restored.faults == original.faults
+    assert restored.reliability == original.reliability
+
+    path = tmp_path / "faulted.json"
+    save_results([original], path)
+    (loaded,) = load_results(path)
+    assert loaded.faults == original.faults
+    assert loaded.reliability == original.reliability
+    # The recovery metrics survive as floats, not strings.
+    assert loaded.reliability["recovery_latency_mean_s"] == pytest.approx(0.6542)
+
+
+def test_unknown_keys_fail_loudly():
+    """A stale/foreign payload must raise, not silently drop fields."""
+    payload = result_to_dict(make_result())
+    payload["shiny_new_metric"] = 1.0
+    with pytest.raises(ConfigurationError, match="shiny_new_metric"):
+        result_from_dict(payload)
+
+
+def test_missing_required_keys_fail_loudly():
+    payload = result_to_dict(make_result())
+    del payload["traffic"]
+    with pytest.raises(ConfigurationError, match="traffic"):
+        result_from_dict(payload)
+
+
+def test_optional_legacy_keys_still_default():
+    """Files written before per_query/latency/reliability/faults load fine."""
+    payload = result_to_dict(make_result())
+    for key in ("per_query", "latency", "reliability", "faults"):
+        del payload[key]
+    restored = result_from_dict(payload)
+    assert restored.faults == {}
+    assert restored.reliability == {}
+
+
+def test_unknown_top_level_file_keys_fail_loudly(tmp_path):
+    import json
+
+    path = tmp_path / "stale.json"
+    path.write_text(
+        json.dumps(
+            {"format_version": 1, "results": [], "bench_meta": {"host": "ci"}}
+        )
+    )
+    with pytest.raises(ConfigurationError, match="bench_meta"):
+        load_results(path)
+
+
+def test_chaos_rows_save_and_load(tmp_path):
+    from repro.experiments.chaos import rows_from_json
+    from repro.experiments.persistence import load_chaos_rows, save_chaos_rows
+    from tests.unit.test_chaos_experiment import make_row
+
+    rows = [make_row(), make_row(level="clean", epsilon=0.03)]
+    path = tmp_path / "chaos.json"
+    save_chaos_rows(rows, path)
+    assert load_chaos_rows(path) == rows
+    assert rows_from_json(path.read_text()) == rows
+    with pytest.raises(ConfigurationError):
+        load_chaos_rows(tmp_path / "absent.json")

@@ -42,4 +42,5 @@ def test_experiment_registry_is_complete():
         "fig9",
         "fig10",
         "fig11",
+        "chaos",
     }
