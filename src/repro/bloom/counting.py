@@ -116,6 +116,28 @@ class CountingBloomFilter:
         self._counters = arr.copy()
         self.items = -1  # unknown: the snapshot does not carry it
 
+    def checkpoint_state(self) -> dict:
+        """Exact snapshot for repro.recovery (unlike :meth:`snapshot`,
+        carries ``items``/``saturations`` so restore is an identity)."""
+        from repro.recovery.checkpoint import encode_array
+
+        return {
+            "counters": encode_array(self._counters),
+            "items": self.items,
+            "saturations": self.saturations,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`checkpoint_state` on a same-shape filter."""
+        from repro.recovery.checkpoint import decode_array
+
+        counters = decode_array(state["counters"])
+        if counters.shape != self._counters.shape:
+            raise SummaryError("checkpoint shape mismatch")
+        self._counters = counters
+        self.items = int(state["items"])
+        self.saturations = int(state["saturations"])
+
     def serialized_entries(self, counters_per_entry: int = 40) -> int:
         """Summary entries on the wire (4-bit counters, 20-byte entries)."""
         return max(1, math.ceil(self.num_counters / counters_per_entry))

@@ -108,6 +108,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="what to do with tuples for stale/suspected peers (implies --reliable)",
     )
     parser.add_argument(
+        "--recovery",
+        action="store_true",
+        help="enable checkpoint/restart recovery: restartable crashes "
+        "(crash@...,downtime=D) rejoin via snapshot restore, arrival "
+        "replay, and peer state transfer (implies --reliable)",
+    )
+    parser.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="simulated seconds between durable per-node checkpoints "
+        "(implies --recovery; default 1.0)",
+    )
+    parser.add_argument(
         "--telemetry",
         action="store_true",
         help="enable the telemetry subsystem (metrics, events, traces)",
@@ -165,11 +180,23 @@ def config_from_args(args: argparse.Namespace) -> SystemConfig:
         if args.fault_plan
         else FaultPlan()
     )
+    from repro.recovery import RecoverySettings
+
+    recovery_on = args.recovery or args.checkpoint_interval > 0
+    recovery_overrides = {"enabled": True}
+    if args.checkpoint_interval > 0:
+        recovery_overrides["checkpoint_interval_s"] = args.checkpoint_interval
+    recovery = (
+        dataclasses.replace(RecoverySettings(), **recovery_overrides)
+        if recovery_on
+        else RecoverySettings()
+    )
     reliable = (
         args.reliable
         or args.retransmit_timeout > 0
         or args.staleness_budget >= 0
         or bool(args.degradation)
+        or recovery_on
     )
     overrides = {"enabled": True}
     if args.retransmit_timeout > 0:
@@ -226,6 +253,7 @@ def config_from_args(args: argparse.Namespace) -> SystemConfig:
         reliability=reliability,
         faults=faults,
         telemetry=telemetry,
+        recovery=recovery,
         seed=args.seed,
     )
 
@@ -274,14 +302,40 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         config = config_from_args(args)
         config.validate()
         if args.profile > 0:
-            from repro.profiling import KernelProfiler, profile_call
+            from repro.profiling import KernelProfiler
 
             profiler = KernelProfiler()
-            system = DistributedJoinSystem(config, profiler=profiler)
-            result, profile_report = profile_call(system.run, top=args.profile)
-        else:
-            system = DistributedJoinSystem(config)
-            result = system.run()
+        system = DistributedJoinSystem(config, profiler=profiler)
+        stream_writer = None
+        if args.telemetry_export and system.telemetry is not None:
+            # The JSONL log is streamed during the run (the manifest is a
+            # pure function of the configuration, so it can head the file
+            # before the first event); export_all below skips it.
+            from pathlib import Path
+
+            from repro.telemetry import (
+                EXPORT_FILENAMES,
+                JsonlStreamWriter,
+                build_manifest,
+            )
+
+            directory = Path(args.telemetry_export)
+            directory.mkdir(parents=True, exist_ok=True)
+            stream_writer = JsonlStreamWriter(
+                directory / EXPORT_FILENAMES["jsonl"],
+                manifest=build_manifest(config),
+            )
+            system.telemetry.add_event_sink(stream_writer.on_event)
+        try:
+            if args.profile > 0:
+                from repro.profiling import profile_call
+
+                result, profile_report = profile_call(system.run, top=args.profile)
+            else:
+                result = system.run()
+        finally:
+            if stream_writer is not None:
+                stream_writer.close()
         export_paths = {}
         if args.telemetry_export:
             from repro.telemetry import export_all
@@ -291,7 +345,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 args.telemetry_export,
                 manifest=result.manifest,
                 profiler=profiler,
+                skip=("jsonl",) if stream_writer is not None else (),
             )
+            if stream_writer is not None:
+                export_paths["jsonl"] = stream_writer.path
     except ReproError as error:
         print("error: %s" % error, file=sys.stderr)
         return 2
@@ -306,6 +363,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             payload["reliability"] = result.reliability
         if result.faults:
             payload["faults"] = result.faults
+        if result.recovery:
+            payload["recovery"] = result.recovery
         if result.profile:
             payload["profile"] = result.profile
         if result.telemetry:
@@ -345,6 +404,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             result.retransmits, int(result.reliability.get("delivery_failures", 0))))
         print("failures seen    %d (%d recoveries)" % (
             result.failures_detected, int(result.reliability.get("recoveries", 0))))
+    if result.recovery:
+        print("checkpoints      %d (%d bytes durable)" % (
+            int(result.recovery.get("checkpoints_taken", 0)),
+            int(result.recovery.get("checkpoint_bytes", 0))))
+        print("restarts         %d (%d arrivals replayed, %d clean / %d degraded rejoins)" % (
+            int(result.recovery.get("restarts", 0)),
+            int(result.recovery.get("tuples_replayed", 0)),
+            int(result.recovery.get("rejoins_clean", 0)),
+            int(result.recovery.get("rejoins_degraded", 0))))
+        if result.recovery.get("rejoin_latency_mean_s"):
+            print("rejoin latency   %.3f s mean, %.3f s max" % (
+                result.recovery.get("rejoin_latency_mean_s", 0.0),
+                result.recovery.get("rejoin_latency_max_s", 0.0)))
     if result.telemetry:
         print("telemetry        %d events, %d samples, %d instruments" % (
             int(result.telemetry.get("events_emitted", 0)),

@@ -27,6 +27,7 @@ from repro.errors import ConfigurationError
 from repro.net.faults import FaultPlan
 from repro.net.link import LinkSpec
 from repro.net.reliable import ReliabilitySettings
+from repro.recovery.settings import RecoverySettings
 from repro.telemetry.settings import TelemetrySettings
 
 
@@ -219,6 +220,10 @@ class SystemConfig:
     """Metrics/tracing/dashboard knobs (off by default; see
     :mod:`repro.telemetry`)."""
 
+    recovery: RecoverySettings = field(default_factory=RecoverySettings)
+    """Checkpoint/restart recovery knobs (off by default; see
+    :mod:`repro.recovery`).  Requires the reliable transport."""
+
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -262,6 +267,12 @@ class SystemConfig:
         self.reliability.validate()
         self.faults.validate(self.num_nodes)
         self.telemetry.validate()
+        self.recovery.validate()
+        if self.recovery.enabled and not self.reliability.enabled:
+            raise ConfigurationError(
+                "recovery requires the reliable transport (reliability.enabled):"
+                " the rejoin protocol's state transfer rides the ARQ channel"
+            )
 
     @property
     def effective_shadow_window(self) -> int:
@@ -290,5 +301,7 @@ class SystemConfig:
             "reliability_enabled": self.reliability.enabled,
             "fault_events": len(self.faults.events),
             "telemetry_enabled": self.telemetry.enabled,
+            "recovery_enabled": self.recovery.enabled,
+            "checkpoint_interval_s": self.recovery.checkpoint_interval_s,
             "seed": self.seed,
         }

@@ -205,6 +205,20 @@ class FlowController:
                 high = mid
         return high
 
+    def checkpoint_state(self) -> Dict[str, float]:
+        """Snapshot the mutable controller state for repro.recovery."""
+        return {
+            "last_weight": self.last_weight,
+            "uniform_detections": self.uniform_detections,
+            "congestion_scale": self.congestion_scale,
+        }
+
+    def restore_state(self, state: Mapping[str, float]) -> None:
+        """Inverse of :meth:`checkpoint_state`."""
+        self.last_weight = float(state["last_weight"])
+        self.uniform_detections = int(state["uniform_detections"])
+        self.congestion_scale = float(state["congestion_scale"])
+
     def expected_transmissions(self, probabilities: Mapping[int, float]) -> float:
         """T_i implied by a probability assignment."""
         return float(sum(probabilities.values()))

@@ -93,6 +93,19 @@ class PeerHealthMonitor:
         if peer in self._last_summary:
             self._last_summary[peer] = now
 
+    def note_restart(self, now: float) -> None:
+        """The *local* node restarted after a crash (see repro.recovery).
+
+        Everything this monitor knew predates the outage: peers were
+        silent only because we were down.  Grant every peer a fresh grace
+        period rather than suspecting the whole mesh on the first
+        forwarding decision after restore.
+        """
+        for peer in self.peer_ids:
+            self._last_heard[peer] = now
+            self._last_summary[peer] = now
+        self._suspected_at.clear()
+
     # ------------------------------------------------------------------
     # queries (evaluated lazily; `heard` clears suspicion)
     # ------------------------------------------------------------------

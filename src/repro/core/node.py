@@ -34,8 +34,17 @@ from repro.join.hash_join import JoinResult, SymmetricHashJoin
 from repro.metrics.accounting import ResultCollector
 from repro.net.message import Message, MessageKind
 from repro.net.reliable import ReliableTransport
-from repro.net.simulator import EventScheduler
+from repro.net.simulator import Event, EventScheduler
 from repro.net.topology import Network
+from repro.recovery.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointStore,
+    encode_blob,
+    restore_window,
+    window_state,
+)
+from repro.recovery.machine import RecoveryMachine, RecoveryPhase
+from repro.recovery.settings import RecoverySettings
 from repro.streams.tuples import StreamId, StreamTuple
 from repro.streams.window import (
     CountWindow,
@@ -75,6 +84,8 @@ class JoinProcessingNode:
         fault_injector=None,
         profiler=None,
         telemetry=None,
+        recovery: Optional[RecoverySettings] = None,
+        checkpoint_store: Optional[CheckpointStore] = None,
     ) -> None:
         self.node_id = node_id
         self.config = config
@@ -104,11 +115,34 @@ class JoinProcessingNode:
         self.forced_broadcast_sends = 0
         self.suppressed_sends = 0
         self.resyncs = 0
+        self._peer_ids = tuple(p for p in range(config.num_nodes) if p != node_id)
         if transport is not None:
-            peers = tuple(p for p in range(config.num_nodes) if p != node_id)
             self.health = PeerHealthMonitor(
-                node_id, peers, transport.settings, on_recovery=self._on_peer_recovered
+                node_id,
+                self._peer_ids,
+                transport.settings,
+                on_recovery=self._on_peer_recovered,
             )
+        # --- checkpoint/restart recovery (repro.recovery) ---------------
+        self.recovery_settings = recovery
+        self.checkpoint_store = checkpoint_store
+        self.recovery_machine: Optional[RecoveryMachine] = None
+        if recovery is not None and recovery.enabled:
+            self.recovery_machine = RecoveryMachine(node_id)
+        self._replay_log: Deque[StreamTuple] = deque()
+        self._pending_messages: List[Message] = []
+        self._transfer_timers: Dict[int, Event] = {}
+        self._transfer_attempts: Dict[int, int] = {}
+        self._synced_peers: set = set()
+        self._restore_event: Optional[Event] = None
+        self._catchup_deadline: Optional[Event] = None
+        self.restarts = 0
+        self.checkpoints_taken = 0
+        self.checkpoint_bytes = 0
+        self.tuples_logged = 0
+        self.tuples_replayed = 0
+        self.replay_dropped = 0
+        self.state_transfer_bytes = 0
         self.telemetry = telemetry
         """Optional :class:`~repro.telemetry.TelemetryHub`; every service
         becomes a span and fan-out decisions feed a histogram.  Handles
@@ -118,6 +152,9 @@ class JoinProcessingNode:
         if telemetry is not None:
             if self.health is not None:
                 self.health.telemetry = telemetry
+            if transport is not None:
+                transport.telemetry = telemetry
+                transport.telemetry_node = node_id
             self._fanout_histogram = telemetry.registry.histogram(
                 "repro_node_fanout",
                 edges=(0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0),
@@ -186,6 +223,13 @@ class JoinProcessingNode:
 
     def on_local_arrival(self, item: StreamTuple) -> None:
         """A tuple of this node's own stream segment arrived."""
+        if self._should_log_for_replay():
+            # The site is down but restartable: its ingest path keeps a
+            # durable arrival log (the paper's sources are external feeds,
+            # so the tuples exist whether the process does or not) and the
+            # recovery protocol replays them after restore.
+            self._log_for_replay(item)
+            return
         if self.fault_injector is not None and self.fault_injector.node_down(
             self.node_id
         ):
@@ -211,12 +255,39 @@ class JoinProcessingNode:
         if len(items) == 1:
             self.on_local_arrival(items[0])
             return
+        if self._should_log_for_replay():
+            for item in items:
+                self._log_for_replay(item)
+            return
         if self.fault_injector is not None and self.fault_injector.node_down(
             self.node_id
         ):
             self.local_arrivals_dropped += len(items)
             return
         self._enqueue(("local_batch", tuple(items)))
+
+    def _should_log_for_replay(self) -> bool:
+        """Whether local arrivals currently go to the replay log.
+
+        The recovery machine's phase is authoritative: DOWN and RESTORING
+        mean the process cannot serve, but a restartable site's arrival
+        log persists.  Non-restartable crashes never enter those phases,
+        so they keep the legacy drop semantics.
+        """
+        if self.recovery_machine is None:
+            return False
+        return self.recovery_machine.phase in (
+            RecoveryPhase.DOWN,
+            RecoveryPhase.RESTORING,
+        )
+
+    def _log_for_replay(self, item: StreamTuple) -> None:
+        capacity = self.recovery_settings.replay_log_capacity
+        if len(self._replay_log) >= capacity:
+            self.replay_dropped += 1
+            return
+        self._replay_log.append(item)
+        self.tuples_logged += 1
 
     def on_message(self, message: Message) -> None:
         """Network delivery callback.
@@ -226,6 +297,14 @@ class JoinProcessingNode:
         detector, and sequenced control messages pass through the ARQ
         receiver (which may release zero or several messages in order).
         """
+        if (
+            self.recovery_machine is not None
+            and self.recovery_machine.phase is RecoveryPhase.RESTORING
+        ):
+            # The process is back up but its state is mid-restore; park
+            # deliveries and run them through this demux once restored.
+            self._pending_messages.append(message)
+            return
         if self.health is not None:
             self.health.heard(message.source, self.scheduler.now)
         if self.transport is not None:
@@ -241,7 +320,16 @@ class JoinProcessingNode:
         self._enqueue(("message", message))
 
     def _enqueue(self, work: Tuple[str, object]) -> None:
-        self._queue.append(work)
+        kind, payload = work
+        if kind == "message" and payload.kind is MessageKind.STATE_TRANSFER:
+            # Recovery anti-entropy jumps the service queue: a rejoining
+            # node must not wait behind the replay backlog it is working
+            # through, and a serving peer answers resync requests ahead of
+            # its data plane -- otherwise on a saturated mesh the catch-up
+            # window is bounded by queue depth instead of the WAN.
+            self._queue.appendleft(work)
+        else:
+            self._queue.append(work)
         self.max_queue_depth = max(self.max_queue_depth, len(self._queue))
         self._start_next()
 
@@ -473,6 +561,309 @@ class JoinProcessingNode:
                 )
             )
 
+    # ------------------------------------------------------------------
+    # checkpoint / restart recovery (repro.recovery)
+    # ------------------------------------------------------------------
+
+    def take_checkpoint(self) -> None:
+        """Snapshot this node's durable per-query state into the store.
+
+        Scheduled by the system on the simulated clock at the configured
+        checkpoint interval.  A crashed or still-recovering node skips the
+        tick -- there is no process to run it.
+        """
+        if self.recovery_machine is None or self.checkpoint_store is None:
+            return
+        if self.fault_injector is not None and self.fault_injector.node_down(
+            self.node_id
+        ):
+            return
+        if not self.recovery_machine.is_serving:
+            return
+        now = self.scheduler.now
+        blob = encode_blob(self._checkpoint_state(now))
+        self.checkpoint_store.save(self.node_id, now, blob)
+        self.checkpoints_taken += 1
+        self.checkpoint_bytes += len(blob)
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "recovery.checkpoint",
+                category="recovery",
+                node=self.node_id,
+                time=now,
+                size_bytes=len(blob),
+            )
+
+    def _checkpoint_state(self, now: float) -> Dict[str, object]:
+        queries: Dict[str, object] = {}
+        for query_id in sorted(self._queries):
+            runtime = self._queries[query_id]
+            queries[str(query_id)] = {
+                "policy": runtime.policy.checkpoint_state(),
+                "windows": {
+                    stream.value: window_state(runtime.join.window(stream))
+                    for stream in (StreamId.R, StreamId.S)
+                },
+                "shadows": {
+                    stream.value: {
+                        str(origin): window_state(window)
+                        for origin, window in sorted(
+                            runtime.shadow_windows[stream].items()
+                        )
+                    }
+                    for stream in (StreamId.R, StreamId.S)
+                },
+                "join": {
+                    "local_results": runtime.join.local_results,
+                    "probe_results": runtime.join.probe_results,
+                },
+            }
+        return {
+            "version": CHECKPOINT_VERSION,
+            "node": self.node_id,
+            "taken_at": now,
+            "interarrival": {
+                "mean": self._mean_interarrival,
+                "last": self._last_arrival_time,
+            },
+            "queries": queries,
+        }
+
+    def _restore_state(self, state: Dict[str, object]) -> None:
+        interarrival = state["interarrival"]
+        self._mean_interarrival = float(interarrival["mean"])
+        last = interarrival["last"]
+        self._last_arrival_time = None if last is None else float(last)
+        self._last_contact = {}
+        for query_key, query_state in state["queries"].items():
+            runtime = self._queries[int(query_key)]
+            runtime.policy.restore_state(query_state["policy"])
+            for stream in (StreamId.R, StreamId.S):
+                restore_window(
+                    runtime.join.window(stream),
+                    query_state["windows"][stream.value],
+                )
+                shadows: Dict[int, SlidingWindow] = {}
+                for origin_key, shadow_state in query_state["shadows"][
+                    stream.value
+                ].items():
+                    window = self._make_window(shadow=True)
+                    restore_window(window, shadow_state)
+                    shadows[int(origin_key)] = window
+                runtime.shadow_windows[stream] = shadows
+            runtime.join.local_results = int(query_state["join"]["local_results"])
+            runtime.join.probe_results = int(query_state["join"]["probe_results"])
+
+    def on_crash(self) -> None:
+        """The restartable crash started: the process and its soft state die."""
+        if self.recovery_machine is None or not self.recovery_machine.can_apply(
+            "crash"
+        ):
+            return
+        now = self.scheduler.now
+        self.recovery_machine.apply("crash", now)
+        # Everything in flight inside the process is lost; timers from an
+        # earlier recovery incarnation must not fire into this one.
+        self._queue.clear()
+        self._pending_messages.clear()
+        self._replay_log.clear()
+        self._cancel_recovery_timers()
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "recovery.crash", category="recovery", node=self.node_id, time=now
+            )
+
+    def on_restart(self) -> None:
+        """The downtime elapsed: boot, then restore after ``restore_delay_s``."""
+        if self.recovery_machine is None or not self.recovery_machine.can_apply(
+            "restart"
+        ):
+            return
+        now = self.scheduler.now
+        self.recovery_machine.apply("restart", now)
+        self.restarts += 1
+        if self.transport is not None:
+            # ARQ sequence numbers died with the process; peers reset
+            # their side on receiving our state-transfer request.
+            self.transport.reset()
+        if self.health is not None:
+            self.health.note_restart(now)
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "recovery.restart", category="recovery", node=self.node_id, time=now
+            )
+        self._restore_event = self.scheduler.schedule_in(
+            self.recovery_settings.restore_delay_s, self._complete_restore
+        )
+
+    def _complete_restore(self) -> None:
+        self._restore_event = None
+        now = self.scheduler.now
+        checkpoint = None
+        if self.checkpoint_store is not None:
+            checkpoint = self.checkpoint_store.latest(self.node_id)
+        if checkpoint is not None:
+            self._restore_state(checkpoint.state())
+        replay = list(self._replay_log)
+        self._replay_log.clear()
+        self.recovery_machine.apply("restored", now)
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "recovery.restored",
+                category="recovery",
+                node=self.node_id,
+                time=now,
+                checkpoint_age_s=(
+                    now - checkpoint.taken_at if checkpoint is not None else -1.0
+                ),
+                replayed_tuples=len(replay),
+            )
+        # Replay the outage's logged arrivals through the normal local
+        # path (windows, summaries, oracle, forwarding), then the
+        # deliveries that piled up while mid-restore.
+        self.tuples_replayed += len(replay)
+        for item in replay:
+            self._enqueue(("local", item))
+        pending = list(self._pending_messages)
+        self._pending_messages.clear()
+        for message in pending:
+            self.on_message(message)
+        self._begin_catchup(now)
+
+    def _begin_catchup(self, now: float) -> None:
+        self._synced_peers = set()
+        self._transfer_attempts = {}
+        if not self._peer_ids:
+            self._complete_catchup(degraded=False)
+            return
+        for peer in self._peer_ids:
+            self._send_transfer_request(peer)
+        self._catchup_deadline = self.scheduler.schedule_in(
+            self.recovery_settings.catchup_timeout_s, self._on_catchup_deadline
+        )
+
+    def _send_transfer_request(self, peer: int) -> None:
+        attempts = self._transfer_attempts.get(peer, 0)
+        self._transfer_attempts[peer] = attempts + 1
+        request = Message(
+            kind=MessageKind.STATE_TRANSFER,
+            source=self.node_id,
+            destination=peer,
+            payload=("request", None),
+        )
+        # Deliberately best-effort: the peer's ARQ receive channel for us
+        # still expects the pre-crash sequence numbers until it resets on
+        # receipt, so a sequenced request would be suppressed as a
+        # duplicate.  Loss is covered by the bounded backoff retries.
+        self.network.send(request)
+        self.state_transfer_bytes += request.size_bytes()
+        if attempts < self.recovery_settings.max_transfer_retries:
+            delay = self.recovery_settings.transfer_timeout_s * (
+                self.recovery_settings.transfer_backoff ** attempts
+            )
+            self._transfer_timers[peer] = self.scheduler.schedule_in(
+                delay, lambda p=peer: self._on_transfer_timeout(p)
+            )
+
+    def _on_transfer_timeout(self, peer: int) -> None:
+        self._transfer_timers.pop(peer, None)
+        if (
+            self.recovery_machine is None
+            or self.recovery_machine.phase is not RecoveryPhase.CATCHING_UP
+            or peer in self._synced_peers
+        ):
+            return
+        self._send_transfer_request(peer)
+
+    def _mark_peer_synced(self, peer: int, now: float) -> None:
+        if (
+            self.recovery_machine is None
+            or self.recovery_machine.phase is not RecoveryPhase.CATCHING_UP
+            or peer in self._synced_peers
+        ):
+            return
+        self._synced_peers.add(peer)
+        timer = self._transfer_timers.pop(peer, None)
+        if timer is not None:
+            timer.cancel()
+        if len(self._synced_peers) >= len(self._peer_ids):
+            self._complete_catchup(degraded=False)
+
+    def _on_catchup_deadline(self) -> None:
+        self._catchup_deadline = None
+        if (
+            self.recovery_machine is not None
+            and self.recovery_machine.phase is RecoveryPhase.CATCHING_UP
+        ):
+            self._complete_catchup(degraded=True)
+
+    def _complete_catchup(self, degraded: bool) -> None:
+        now = self.scheduler.now
+        self._cancel_recovery_timers(keep_restore=True)
+        self.recovery_machine.apply("timeout" if degraded else "synced", now)
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "recovery.live",
+                category="recovery",
+                node=self.node_id,
+                time=now,
+                degraded=degraded,
+                rejoin_latency_s=self.recovery_machine.rejoin_latencies[-1],
+                peers_synced=len(self._synced_peers),
+            )
+
+    def _cancel_recovery_timers(self, keep_restore: bool = False) -> None:
+        if not keep_restore and self._restore_event is not None:
+            self._restore_event.cancel()
+            self._restore_event = None
+        for timer in self._transfer_timers.values():
+            timer.cancel()
+        self._transfer_timers.clear()
+        self._transfer_attempts = {}
+        if self._catchup_deadline is not None:
+            self._catchup_deadline.cancel()
+            self._catchup_deadline = None
+
+    def _process_state_transfer(self, message: Message) -> float:
+        """Serve or absorb recovery anti-entropy traffic."""
+        now = self.scheduler.now
+        direction, _ = message.payload
+        if direction == "request":
+            # The requester restarted from scratch: reset our ARQ channels
+            # toward it (its sequence numbers are back at zero) and answer
+            # with full summary snapshots for every query.
+            if self.transport is not None:
+                self.transport.reset_peer(message.source)
+            self.resyncs += 1
+            for query_id in sorted(self._queries):
+                self._queries[query_id].policy.resync_peer(message.source)
+            updates = self._take_pending_updates(message.source)
+            response = Message(
+                kind=MessageKind.STATE_TRANSFER,
+                source=self.node_id,
+                destination=message.source,
+                payload=("response", updates),
+                summary_entries=sum(update.entries for _, update in updates),
+            )
+            if self.transport is not None:
+                self.transport.send(response)
+            else:
+                self.network.send(response)
+            self.state_transfer_bytes += response.size_bytes()
+            self._last_contact[message.source] = now
+            return self.config.cpu_seconds_per_probe + self._pause_seconds(response)
+        # A peer's response: apply its snapshots and mark it synced.
+        _, updates = message.payload
+        self.state_transfer_bytes += message.size_bytes()
+        for update_query_id, update in updates:
+            self._queries[update_query_id].policy.on_remote_summary(
+                message.source, update
+            )
+        if updates and self.health is not None:
+            self.health.summary_received(message.source, now)
+        self._mark_peer_synced(message.source, now)
+        return self.config.cpu_seconds_per_probe
+
     def _probe_shadow(
         self, runtime: QueryRuntime, item: StreamTuple, now: float
     ) -> List[JoinResult]:
@@ -600,6 +991,8 @@ class JoinProcessingNode:
 
     def _process_message(self, message: Message) -> float:
         now = self.scheduler.now
+        if message.kind is MessageKind.STATE_TRANSFER:
+            return self._process_state_transfer(message)
         query_id, item, updates = message.payload
         for update_query_id, update in updates:
             self._queries[update_query_id].policy.on_remote_summary(
@@ -649,4 +1042,14 @@ class JoinProcessingNode:
             counters["forced_broadcast_sends"] = float(self.forced_broadcast_sends)
             counters["suppressed_sends"] = float(self.suppressed_sends)
             counters["resyncs"] = float(self.resyncs)
+        if self.recovery_machine is not None:
+            counters["restarts"] = float(self.restarts)
+            counters["checkpoints_taken"] = float(self.checkpoints_taken)
+            counters["checkpoint_bytes"] = float(self.checkpoint_bytes)
+            counters["tuples_logged"] = float(self.tuples_logged)
+            counters["tuples_replayed"] = float(self.tuples_replayed)
+            counters["replay_dropped"] = float(self.replay_dropped)
+            counters["state_transfer_bytes"] = float(self.state_transfer_bytes)
+            for key, value in self.recovery_machine.counters().items():
+                counters["recovery_" + key] = value
         return counters

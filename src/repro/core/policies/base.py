@@ -159,6 +159,34 @@ class ForwardingPolicy(abc.ABC):
             "fallback_decisions": float(self.fallback_decisions),
         }
 
+    def checkpoint_state(self) -> Dict[str, object]:
+        """JSON-safe snapshot of the policy's durable state.
+
+        Subclasses extend the returned dictionary with their summaries
+        and learned state.  Soft state (remote summary tables, caches,
+        pending outbox updates) is deliberately excluded: it is rebuilt
+        by the recovery resync and the normal broadcast cadence, so
+        ``restore_state`` drops it.  The invariant the property tests pin
+        is ``checkpoint(restore(checkpoint(p))) == checkpoint(p)``.
+        """
+        return {
+            "name": self.name,
+            "tuples_seen": self.tuples_seen,
+            "fallback_decisions": self.fallback_decisions,
+            "congestion_scale": self.congestion_scale,
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Inverse of :meth:`checkpoint_state`; clears soft state."""
+        if state.get("name") != self.name:
+            raise ConfigurationError(
+                "checkpoint is for policy %r, not %r" % (state.get("name"), self.name)
+            )
+        self.tuples_seen = int(state["tuples_seen"])
+        self.fallback_decisions = int(state["fallback_decisions"])
+        self.congestion_scale = float(state["congestion_scale"])
+        self.outbox.clear()
+
     def _bernoulli_destinations(
         self, probabilities: Dict[int, float]
     ) -> List[int]:

@@ -200,3 +200,41 @@ class BloomPolicy(ForwardingPolicy):
         counters["bloom_fill_r"] = self.filters[StreamId.R].fill_ratio()
         counters["bloom_fill_s"] = self.filters[StreamId.S].fill_ratio()
         return counters
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore
+    # ------------------------------------------------------------------
+
+    def checkpoint_state(self) -> Dict[str, object]:
+        state = super().checkpoint_state()
+        state["filters"] = {
+            stream.value: self.filters[stream].checkpoint_state()
+            for stream in (StreamId.R, StreamId.S)
+        }
+        state["managers"] = {
+            stream.value: self.managers[stream].checkpoint_state()
+            for stream in (StreamId.R, StreamId.S)
+        }
+        state["flow"] = self.flow.checkpoint_state()
+        state["hit_rates"] = {
+            stream.value: {
+                str(peer): self._hit_rates[stream][peer]
+                for peer in self.peer_ids
+            }
+            for stream in (StreamId.R, StreamId.S)
+        }
+        return state
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        super().restore_state(state)
+        for stream in (StreamId.R, StreamId.S):
+            self.filters[stream].restore_state(state["filters"][stream.value])
+            self.managers[stream].restore_state(state["managers"][stream.value])
+            self._hit_rates[stream] = {
+                peer: float(state["hit_rates"][stream.value][str(peer)])
+                for peer in self.peer_ids
+            }
+        self.flow.restore_state(state["flow"])
+        # Peer filters died with the process; resync snapshots refill them.
+        self.remote.clear()
+        self._remote_filters.clear()

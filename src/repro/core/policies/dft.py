@@ -135,6 +135,40 @@ class DftPolicy(ForwardingPolicy):
             self._cached_probabilities.clear()
 
     # ------------------------------------------------------------------
+    # checkpoint / restore
+    # ------------------------------------------------------------------
+
+    def checkpoint_state(self) -> Dict[str, object]:
+        state = super().checkpoint_state()
+        state["managers"] = {
+            stream.value: self.managers[stream].checkpoint_state()
+            for stream in (StreamId.R, StreamId.S)
+        }
+        state["flow"] = self.flow.checkpoint_state()
+        state["round_robin_cursor"] = self._round_robin._cursor
+        state["arrivals_since_probability_refresh"] = (
+            self._arrivals_since_probability_refresh
+        )
+        state["worst_case_mode"] = self.worst_case_mode
+        return state
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        super().restore_state(state)
+        for stream in (StreamId.R, StreamId.S):
+            self.managers[stream].restore_state(state["managers"][stream.value])
+        self.flow.restore_state(state["flow"])
+        self._round_robin._cursor = int(state["round_robin_cursor"])
+        self._arrivals_since_probability_refresh = int(
+            state["arrivals_since_probability_refresh"]
+        )
+        self.worst_case_mode = bool(state["worst_case_mode"])
+        # Soft state: remote summaries and the decision caches derived
+        # from them died with the process; the resync refills them.
+        self.remote.clear()
+        self._cached_probabilities.clear()
+        self._cached_similarities.clear()
+
+    # ------------------------------------------------------------------
     # similarity and probabilities
     # ------------------------------------------------------------------
 

@@ -202,3 +202,24 @@ class DfttPolicy(DftPolicy):
         counters["estimate_hits"] = float(self.estimate_hits)
         counters["estimate_misses"] = float(self.estimate_misses)
         return counters
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore
+    # ------------------------------------------------------------------
+
+    def checkpoint_state(self) -> Dict[str, object]:
+        state = super().checkpoint_state()
+        state["reconstruction_refreshes"] = self.reconstruction_refreshes
+        state["estimate_hits"] = self.estimate_hits
+        state["estimate_misses"] = self.estimate_misses
+        return state
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        super().restore_state(state)
+        self.reconstruction_refreshes = int(state["reconstruction_refreshes"])
+        self.estimate_hits = int(state["estimate_hits"])
+        self.estimate_misses = int(state["estimate_misses"])
+        # Reconstructions and tolerances derive from the remote table the
+        # superclass just cleared; they rebuild lazily after the resync.
+        self._reconstructions.clear()
+        self._tolerances.clear()

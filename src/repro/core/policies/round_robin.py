@@ -31,6 +31,15 @@ class RoundRobinPolicy(ForwardingPolicy):
         )
         return self.take_from_cycle(budget)
 
+    def checkpoint_state(self) -> dict:
+        state = super().checkpoint_state()
+        state["cursor"] = self._cursor
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self._cursor = int(state["cursor"])
+
     def take_from_cycle(self, budget: float) -> List[int]:
         """Next ``budget`` peers in cyclic order (shared with fallbacks)."""
         peers = self.peer_ids

@@ -230,3 +230,33 @@ class SketchPolicy(ForwardingPolicy):
             sum(m.broadcasts for m in self.managers.values())
         )
         return counters
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore
+    # ------------------------------------------------------------------
+
+    def checkpoint_state(self) -> Dict[str, object]:
+        state = super().checkpoint_state()
+        state["sketches"] = {
+            stream.value: self.sketches[stream].checkpoint_state()
+            for stream in (StreamId.R, StreamId.S)
+        }
+        state["managers"] = {
+            stream.value: self.managers[stream].checkpoint_state()
+            for stream in (StreamId.R, StreamId.S)
+        }
+        state["flow"] = self.flow.checkpoint_state()
+        state["arrivals_since_refresh"] = self._arrivals_since_refresh
+        return state
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        super().restore_state(state)
+        for stream in (StreamId.R, StreamId.S):
+            self.sketches[stream].restore_state(state["sketches"][stream.value])
+            self.managers[stream].restore_state(state["managers"][stream.value])
+        self.flow.restore_state(state["flow"])
+        self._arrivals_since_refresh = int(state["arrivals_since_refresh"])
+        # Peer sketches and derived probabilities are soft state.
+        self.remote.clear()
+        self._remote_sketches.clear()
+        self._cached_probabilities.clear()

@@ -43,6 +43,11 @@ class RunResult:
     """Fault-injection summary (events, messages blocked, activations per
     kind).  Empty when the run had no fault plan."""
 
+    recovery: Dict[str, float] = field(default_factory=dict)
+    """Checkpoint/restart recovery counters (checkpoints taken and bytes,
+    arrivals logged/replayed, restarts, clean vs degraded rejoins, rejoin
+    latency).  Empty when recovery is disabled."""
+
     profile: Dict[str, Dict[str, float]] = field(default_factory=dict)
     """Per-kernel wall/CPU accounting (calls, items, seconds, items/s)
     from the :class:`~repro.profiling.KernelProfiler` the run was handed.

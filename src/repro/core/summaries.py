@@ -78,6 +78,12 @@ class SummaryOutbox:
     def peers_with_pending(self) -> List[int]:
         return [peer for peer, queue in self._pending.items() if queue]
 
+    def clear(self) -> None:
+        """Drop everything queued (checkpoint restore: pending updates are
+        soft state -- the resync protocol refills peers explicitly)."""
+        for queue in self._pending.values():
+            queue.clear()
+
 
 class RemoteSummaryTable:
     """Receiver-side freshest-known summaries, keyed by (peer, stream)."""
@@ -126,6 +132,14 @@ class RemoteSummaryTable:
 
     def known_peers(self, stream: StreamId) -> List[int]:
         return [peer for (peer, s) in self._state if s is stream]
+
+    def clear(self) -> None:
+        """Forget every remote summary (checkpoint restore: remote state
+        is soft -- the anti-entropy resync and the normal broadcast
+        cadence rebuild it from live peers)."""
+        self._state.clear()
+        self._versions.clear()
+        self._dirty.clear()
 
 
 class DftSummaryManager:
@@ -274,6 +288,34 @@ class DftSummaryManager:
         """The node's own current coefficient map (for similarity calc)."""
         return self.dft.coefficient_map()
 
+    def checkpoint_state(self) -> Dict[str, object]:
+        """Snapshot the manager's durable state for repro.recovery."""
+        from repro.recovery.checkpoint import encode_array
+
+        return {
+            "dft": self.dft.checkpoint_state(),
+            "last_broadcast": encode_array(self._last_broadcast_values),
+            "ever_broadcast": encode_array(self._ever_broadcast),
+            "updates_since_refresh": self._updates_since_refresh,
+            "version": self._version,
+            "broadcasts": self.broadcasts,
+            "suppressed_refreshes": self.suppressed_refreshes,
+            "last_full_recomputes": self._last_full_recomputes,
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Inverse of :meth:`checkpoint_state`."""
+        from repro.recovery.checkpoint import decode_array
+
+        self.dft.restore_state(state["dft"])
+        self._last_broadcast_values = decode_array(state["last_broadcast"])
+        self._ever_broadcast = decode_array(state["ever_broadcast"])
+        self._updates_since_refresh = int(state["updates_since_refresh"])
+        self._version = int(state["version"])
+        self.broadcasts = int(state["broadcasts"])
+        self.suppressed_refreshes = int(state["suppressed_refreshes"])
+        self._last_full_recomputes = int(state["last_full_recomputes"])
+
     def resync_update(self) -> Optional[SummaryUpdate]:
         """A full-state snapshot for one recovering peer.
 
@@ -363,6 +405,24 @@ class SnapshotSummaryManager:
                 version=update.version,
             )
         return update
+
+    def checkpoint_state(self) -> Dict[str, object]:
+        """Snapshot the cadence/version counters for repro.recovery.
+
+        The summarized structure itself (filter / sketch) is owned by the
+        policy and checkpointed there; this covers only the broadcast
+        bookkeeping."""
+        return {
+            "updates_since_refresh": self._updates_since_refresh,
+            "version": self._version,
+            "broadcasts": self.broadcasts,
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Inverse of :meth:`checkpoint_state`."""
+        self._updates_since_refresh = int(state["updates_since_refresh"])
+        self._version = int(state["version"])
+        self.broadcasts = int(state["broadcasts"])
 
     def snapshot_update(self) -> SummaryUpdate:
         """Build (but do not queue) a fresh full-state snapshot.

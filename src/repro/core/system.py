@@ -28,11 +28,12 @@ from repro.net.faults import FaultInjector
 from repro.net.reliable import ReliableTransport
 from repro.net.simulator import EventScheduler
 from repro.net.topology import Network
+from repro.recovery.checkpoint import CheckpointStore
 from repro.streams.financial import FinancialStreamConfig, financial_stream
 from repro.streams.generators import uniform_stream, zipf_stream
 from repro.streams.network import NetworkTraceConfig, network_trace_stream
 from repro.streams.partitioner import GeographicPartitioner, PartitionerConfig
-from repro.streams.tuples import StreamId, StreamTuple
+from repro.streams.tuples import StreamId, StreamTuple, reset_tuple_ids
 from repro.telemetry import TelemetryHub, build_manifest
 
 
@@ -79,6 +80,7 @@ class DistributedJoinSystem:
 
     def __init__(self, config: SystemConfig, profiler=None) -> None:
         config.validate()
+        reset_tuple_ids()
         self.config = config
         self.profiler = profiler
         """Optional :class:`~repro.profiling.KernelProfiler`; threaded
@@ -116,6 +118,9 @@ class DistributedJoinSystem:
         if not config.faults.empty:
             self.fault_injector = FaultInjector(config.faults, config.num_nodes)
             self.fault_injector.install(self.scheduler)
+        self.checkpoint_store: Optional[CheckpointStore] = None
+        if config.recovery.enabled:
+            self.checkpoint_store = CheckpointStore()
         self.network = Network(
             self.scheduler,
             spec=config.link,
@@ -186,6 +191,8 @@ class DistributedJoinSystem:
                         fault_injector=self.fault_injector,
                         profiler=profiler,
                         telemetry=self.telemetry,
+                        recovery=config.recovery,
+                        checkpoint_store=self.checkpoint_store,
                     )
                 else:
                     node.add_query(
@@ -198,6 +205,13 @@ class DistributedJoinSystem:
             self.nodes.append(node)
         self._tuples_scheduled = 0
         self._arrival_span = 0.0
+        if self.checkpoint_store is not None:
+            # A t=0 baseline checkpoint per node: a crash before the first
+            # periodic tick must restore *something*, and an empty-state
+            # snapshot is the honest something.
+            for node in self.nodes:
+                node.take_checkpoint()
+            self._schedule_recovery_hooks()
 
     # Single-query conveniences (the common case and the test surface).
 
@@ -309,7 +323,47 @@ class DistributedJoinSystem:
         self._tuples_scheduled = workload.total_tuples
         self._arrival_span = last_time
         self._schedule_heartbeats()
+        self._schedule_checkpoints()
         self._schedule_telemetry_sampling()
+
+    def _schedule_recovery_hooks(self) -> None:
+        """Schedule crash/restart edges for every restartable fault event.
+
+        These run *after* the injector's own activate/deactivate edges at
+        the same timestamps (the injector installed first, and ties break
+        by insertion order), so at restart time ``node_down`` is already
+        false when :meth:`~repro.core.node.JoinProcessingNode.on_restart`
+        fires.
+        """
+        if self.fault_injector is None:
+            return
+        for event in self.config.faults.events:
+            if not event.restartable:
+                continue
+            for target in sorted(set(event.nodes)):
+                node = self.nodes[target]
+                self.scheduler.schedule_at(
+                    event.start_s, lambda n=node: n.on_crash()
+                )
+                self.scheduler.schedule_at(
+                    event.end_s, lambda n=node: n.on_restart()
+                )
+
+    def _schedule_checkpoints(self) -> None:
+        """Pre-schedule every checkpoint tick over the run's span.
+
+        Same finite-event-set pattern as the heartbeats: a fixed tick
+        series keeps the scheduler's run-to-drain termination intact.
+        Nodes skip ticks while down or mid-recovery.
+        """
+        if self.checkpoint_store is None:
+            return
+        interval = self.config.recovery.checkpoint_interval_s
+        count = int(self._arrival_span / interval) + 1
+        for index in range(1, count + 1):
+            when = index * interval
+            for node in self.nodes:
+                self.scheduler.schedule_at(when, lambda n=node: n.take_checkpoint())
 
     def _schedule_heartbeats(self) -> None:
         """Pre-schedule every heartbeat tick over the run's span.
@@ -463,6 +517,40 @@ class DistributedJoinSystem:
             faults["local_arrivals_dropped"] = float(
                 sum(node.local_arrivals_dropped for node in self.nodes)
             )
+        recovery: Dict[str, float] = {}
+        if self.checkpoint_store is not None:
+            recovery = {
+                "checkpoints_taken": float(self.checkpoint_store.checkpoints_taken),
+                "checkpoint_bytes": float(self.checkpoint_store.bytes_written),
+            }
+            for key in (
+                "restarts",
+                "tuples_logged",
+                "tuples_replayed",
+                "replay_dropped",
+                "state_transfer_bytes",
+            ):
+                recovery[key] = float(sum(getattr(n, key) for n in self.nodes))
+            rejoin_latencies: List[float] = []
+            clean = degraded = 0
+            for node in self.nodes:
+                machine = node.recovery_machine
+                if machine is None:
+                    continue
+                rejoin_latencies.extend(machine.rejoin_latencies)
+                for _, trigger, _ in machine.history:
+                    if trigger == "synced":
+                        clean += 1
+                    elif trigger == "timeout":
+                        degraded += 1
+            recovery["rejoins_clean"] = float(clean)
+            recovery["rejoins_degraded"] = float(degraded)
+            if rejoin_latencies:
+                recovery["rejoin_latency_mean_s"] = sum(rejoin_latencies) / len(
+                    rejoin_latencies
+                )
+                recovery["rejoin_latency_max_s"] = max(rejoin_latencies)
+            recovery["dead_letters"] = reliability.get("delivery_failures", 0.0)
         return RunResult(
             config=self.config.as_dict(),
             truth_pairs=sum(o.total_result_pairs for o in self.oracles),
@@ -483,6 +571,7 @@ class DistributedJoinSystem:
             latency=merged_latency.snapshot(),
             reliability=reliability,
             faults=faults,
+            recovery=recovery,
             profile=self.profiler.snapshot() if self.profiler is not None else {},
             manifest=build_manifest(self.config),
             telemetry=self.telemetry.summary() if self.telemetry is not None else {},

@@ -305,6 +305,53 @@ class SlidingDFT:
         self.total_updates += n
         self.updates_since_recompute += n
 
+    # ------------------------------------------------------------------
+    # checkpoint / restore
+    # ------------------------------------------------------------------
+
+    def checkpoint_state(self) -> Dict[str, object]:
+        """Bit-exact snapshot of the mutable state (see repro.recovery).
+
+        The rotation-mode phase row is part of the state: it is a product
+        of ``position`` rotations and cannot be recomputed bit-identically,
+        so it must be carried verbatim for restore to reproduce the exact
+        coefficient trajectory.
+        """
+        from repro.recovery.checkpoint import encode_array
+
+        state: Dict[str, object] = {
+            "window_size": self.window_size,
+            "buffer": encode_array(self._buffer),
+            "coefficients": encode_array(self._coefficients),
+            "position": self._position,
+            "filled": self._filled,
+            "updates_since_recompute": self.updates_since_recompute,
+            "total_updates": self.total_updates,
+            "full_recomputes": self.full_recomputes,
+        }
+        if self.mode == "rotation":
+            state["phase"] = encode_array(self._phase)
+        return state
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Inverse of :meth:`checkpoint_state` on a same-config instance."""
+        from repro.recovery.checkpoint import decode_array
+
+        if int(state["window_size"]) != self.window_size:
+            raise SummaryError(
+                "checkpoint window size %s does not match %d"
+                % (state["window_size"], self.window_size)
+            )
+        self._buffer = decode_array(state["buffer"])
+        self._coefficients = decode_array(state["coefficients"])
+        self._position = int(state["position"])
+        self._filled = int(state["filled"])
+        self.updates_since_recompute = int(state["updates_since_recompute"])
+        self.total_updates = int(state["total_updates"])
+        self.full_recomputes = int(state["full_recomputes"])
+        if self.mode == "rotation":
+            self._phase = decode_array(state["phase"])
+
     def recompute(self) -> None:
         """Exact recomputation of the tracked bins from the stored buffer.
 

@@ -51,8 +51,9 @@ from repro.experiments.harness import (
 from repro.experiments.reporting import format_table
 from repro.net.faults import FaultEvent, FaultKind, FaultPlan
 from repro.net.reliable import ReliabilitySettings
+from repro.recovery.settings import RecoverySettings
 
-CHAOS_FORMAT_VERSION = 1
+CHAOS_FORMAT_VERSION = 2
 
 WORST_CASE_EVENT = "policy.worst_case_mode"
 
@@ -191,7 +192,10 @@ def grid_to_spec(grid: Sequence[ChaosLevel]) -> str:
 
 
 def build_fault_plan(
-    level: ChaosLevel, scale: ExperimentScale, num_nodes: int
+    level: ChaosLevel,
+    scale: ExperimentScale,
+    num_nodes: int,
+    restartable: bool = False,
 ) -> FaultPlan:
     """Deterministic fault schedule for one (level, scale, mesh) cell.
 
@@ -204,6 +208,12 @@ def build_fault_plan(
       duration capped at half the span;
     * crashes     -- highest-id nodes, staggered starts from
       ``0.55 * span``, each outage capped at a quarter of the span.
+
+    ``restartable`` spells the crashes with ``downtime_s`` equal to the
+    legacy crash duration, so the outage window is *identical* and the
+    only difference between the recovery-on and recovery-off cells is the
+    rejoin protocol itself -- the apples-to-apples comparison the
+    ``--recovery`` mode reports.
     """
     level.validate()
     if level.crash_count >= num_nodes:
@@ -231,12 +241,14 @@ def build_fault_plan(
             )
         )
     for index in range(level.crash_count):
+        outage = round(min(1.5, 0.25 * span), 6)
         events.append(
             FaultEvent(
                 kind=FaultKind.NODE_CRASH,
                 start_s=round((0.55 + 0.08 * index) * span, 6),
-                duration_s=round(min(1.5, 0.25 * span), 6),
+                duration_s=outage,
                 nodes=(num_nodes - 1 - index,),
+                downtime_s=outage if restartable else 0.0,
             )
         )
     plan = FaultPlan.from_events(events)
@@ -277,6 +289,15 @@ class ChaosRow:
     resyncs: float
     worst_case_s: float
     duration_seconds: float
+    recovery_enabled: bool
+    restarts: float
+    tuples_replayed: float
+    rejoin_latency_s: float
+    """Mean seconds from restart to LIVE across the cell's rejoins."""
+
+    dead_letters: float
+    """Reliable-channel sends whose retries were exhausted (the messages
+    the ARQ gave up on; surfaced per-event as ``transport.dead_letter``)."""
 
     def as_dict(self) -> Dict[str, object]:
         return dataclasses.asdict(self)
@@ -336,6 +357,7 @@ def run(
     grid: Sequence[ChaosLevel] = DEFAULT_GRID,
     num_nodes: int = 0,
     reliability: Optional[ReliabilitySettings] = None,
+    recovery: Optional[RecoverySettings] = None,
     progress: Optional[Callable[[str], None]] = None,
 ) -> List[ChaosRow]:
     """Sweep ``algorithms`` x ``grid`` at one scale; one row per cell.
@@ -346,6 +368,11 @@ def run(
     detection just measure packet loss); telemetry is always on, with
     per-message tracing off, so the worst-case-mode timeline is complete
     without the event ring overflowing.
+
+    ``recovery`` (enabled) switches every crash in the grid to a
+    *restartable* crash with the same outage window and runs each cell
+    with checkpoint/restart rejoin on -- the cells then also report
+    restarts, replayed arrivals, and rejoin latency.
     """
     preset = get_scale(scale)
     if not algorithms:
@@ -361,16 +388,20 @@ def run(
         if reliability is not None
         else ReliabilitySettings(enabled=True)
     )
+    rejoin = recovery if recovery is not None and recovery.enabled else None
     rows: List[ChaosRow] = []
     for algorithm in algorithms:
         for level in levels:
-            plan = build_fault_plan(level, preset, mesh)
+            plan = build_fault_plan(
+                level, preset, mesh, restartable=rejoin is not None
+            )
             config = system_config(
                 preset,
                 algorithm,
                 mesh,
                 faults=plan,
                 reliability=settings,
+                recovery=rejoin,
                 telemetry=True,
                 trace_messages=False,
             )
@@ -383,6 +414,7 @@ def run(
             )
             reliability_counters = result.reliability
             faults = result.faults
+            recovery_counters = result.recovery
             rows.append(
                 ChaosRow(
                     scale=preset.name,
@@ -417,6 +449,17 @@ def run(
                     resyncs=float(reliability_counters.get("resyncs", 0.0)),
                     worst_case_s=worst,
                     duration_seconds=result.duration_seconds,
+                    recovery_enabled=rejoin is not None,
+                    restarts=float(recovery_counters.get("restarts", 0.0)),
+                    tuples_replayed=float(
+                        recovery_counters.get("tuples_replayed", 0.0)
+                    ),
+                    rejoin_latency_s=float(
+                        recovery_counters.get("rejoin_latency_mean_s", 0.0)
+                    ),
+                    dead_letters=float(
+                        reliability_counters.get("delivery_failures", 0.0)
+                    ),
                 )
             )
     return rows
@@ -475,6 +518,7 @@ def format_result(rows: Sequence[ChaosRow]) -> str:
         [
             "algo",
             "level",
+            "rejoin",
             "eps",
             "kB sent",
             "kB lost",
@@ -484,11 +528,16 @@ def format_result(rows: Sequence[ChaosRow]) -> str:
             "rec mean s",
             "worst-case s",
             "resyncs",
+            "restarts",
+            "replayed",
+            "rejoin s",
+            "dead ltrs",
         ],
         [
             (
                 row.algorithm,
                 row.level,
+                "on" if row.recovery_enabled else "off",
                 row.epsilon,
                 row.total_bytes / 1000.0,
                 row.bytes_lost / 1000.0,
@@ -498,9 +547,67 @@ def format_result(rows: Sequence[ChaosRow]) -> str:
                 row.recovery_latency_mean_s,
                 row.worst_case_s,
                 row.resyncs,
+                row.restarts,
+                row.tuples_replayed,
+                row.rejoin_latency_s,
+                row.dead_letters,
             )
             for row in rows
         ],
+    )
+
+
+def format_recovery_comparison(
+    baseline: Sequence[ChaosRow], recovered: Sequence[ChaosRow]
+) -> str:
+    """Per-cell epsilon reclaimed by the rejoin protocol.
+
+    Pairs rows by (algorithm, level) and reports, for every cell that
+    actually crashes a node, how much of the join error the recovery
+    protocol won back (positive ``reclaimed`` = recovery helped).
+
+    The per-run epsilons are *not* directly comparable: a legacy crash
+    drops its local arrivals from the ground truth too (the oracle never
+    observes them), so the no-recovery run is scored against a smaller
+    truth.  Both cells are therefore re-measured here against the larger
+    of the two truths -- the closest available stand-in for the full
+    workload's pair count -- before differencing.
+    """
+    recovered_by_cell = {(row.algorithm, row.level): row for row in recovered}
+    entries = []
+    for row in baseline:
+        match = recovered_by_cell.get((row.algorithm, row.level))
+        if match is None or row.crash_count == 0:
+            continue
+        truth = max(row.truth_pairs, match.truth_pairs, 1)
+        eps_off = abs(truth - row.reported_pairs) / truth
+        eps_on = abs(truth - match.reported_pairs) / truth
+        entries.append(
+            (
+                row.algorithm,
+                row.level,
+                eps_off,
+                eps_on,
+                eps_off - eps_on,
+                match.restarts,
+                match.tuples_replayed,
+                match.rejoin_latency_s,
+            )
+        )
+    if not entries:
+        return "no crash cells to compare (grid has no crash_count > 0 levels)"
+    return format_table(
+        [
+            "algo",
+            "level",
+            "eps off",
+            "eps on",
+            "reclaimed",
+            "restarts",
+            "replayed",
+            "rejoin s",
+        ],
+        entries,
     )
 
 
@@ -583,6 +690,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--figure", default="", metavar="FILE", help="also write the ASCII figure"
     )
     parser.add_argument(
+        "--recovery",
+        action="store_true",
+        help="comparison mode: run the grid twice -- restartable crashes "
+        "with checkpoint/restart rejoin on vs the same outages without -- "
+        "and report the epsilon each cell reclaims",
+    )
+    parser.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="checkpoint cadence for --recovery (default: the subsystem's)",
+    )
+    parser.add_argument(
         "--baseline",
         default="",
         metavar="FILE",
@@ -613,16 +734,48 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
         else:
             algorithms = COMPARED_ALGORITHMS
-        rows = run(
-            scale=args.scale,
-            algorithms=algorithms,
-            grid=grid,
-            num_nodes=args.nodes,
-            progress=lambda text: print(text, file=sys.stderr),
-        )
+        progress = lambda text: print(text, file=sys.stderr)
+        comparison = ""
+        if args.recovery:
+            overrides = {"enabled": True}
+            if args.checkpoint_interval > 0:
+                overrides["checkpoint_interval_s"] = args.checkpoint_interval
+            rejoin = RecoverySettings(**overrides)
+            baseline_rows = run(
+                scale=args.scale,
+                algorithms=algorithms,
+                grid=grid,
+                num_nodes=args.nodes,
+                progress=lambda text: progress(text + " [no-recovery]"),
+            )
+            recovered_rows = run(
+                scale=args.scale,
+                algorithms=algorithms,
+                grid=grid,
+                num_nodes=args.nodes,
+                recovery=rejoin,
+                progress=lambda text: progress(text + " [recovery]"),
+            )
+            comparison = format_recovery_comparison(baseline_rows, recovered_rows)
+            rows = baseline_rows + recovered_rows
+            chart_rows = recovered_rows
+        else:
+            rows = run(
+                scale=args.scale,
+                algorithms=algorithms,
+                grid=grid,
+                num_nodes=args.nodes,
+                progress=progress,
+            )
+            chart_rows = rows
         print(format_result(rows))
         print()
-        chart = figure(rows)
+        if comparison:
+            print("epsilon reclaimed by checkpoint/restart recovery")
+            print()
+            print(comparison)
+            print()
+        chart = figure(chart_rows)
         print(chart)
         if args.out:
             save_chaos_rows(rows, args.out)

@@ -29,6 +29,7 @@ from repro.core.flow import FlowSettings
 from repro.errors import ConfigurationError
 from repro.net.faults import FaultPlan
 from repro.net.reliable import ReliabilitySettings
+from repro.recovery.settings import RecoverySettings
 from repro.telemetry.settings import TelemetrySettings
 
 
@@ -124,13 +125,16 @@ def system_config(
     trace_messages: bool = True,
     faults: Optional[FaultPlan] = None,
     reliability: Optional[ReliabilitySettings] = None,
+    recovery: Optional[RecoverySettings] = None,
 ) -> SystemConfig:
     """One experiment run's configuration, derived from a scale preset.
 
     ``faults`` makes a fault schedule a first-class experiment knob (the
     chaos sweep threads a whole grid of plans through here); ``reliability``
-    turns the control-plane ARQ / failure detector on for the run.  Both
-    default to the paper's clean-WAN behaviour.
+    turns the control-plane ARQ / failure detector on for the run;
+    ``recovery`` enables checkpoint/restart rejoin for crashed nodes (and
+    requires ``reliability``).  All default to the paper's clean-WAN
+    behaviour.
     """
     policy = PolicyConfig(
         algorithm=algorithm,
@@ -160,6 +164,8 @@ def system_config(
         config = dataclasses.replace(config, faults=faults)
     if reliability is not None:
         config = dataclasses.replace(config, reliability=reliability)
+    if recovery is not None:
+        config = dataclasses.replace(config, recovery=recovery)
     return config
 
 

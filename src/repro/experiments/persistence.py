@@ -44,11 +44,14 @@ RESULT_KEYS = frozenset(
         "latency",
         "reliability",
         "faults",
+        "recovery",
     }
 )
 """Exactly the keys :func:`result_to_dict` writes."""
 
-OPTIONAL_RESULT_KEYS = frozenset({"per_query", "latency", "reliability", "faults"})
+OPTIONAL_RESULT_KEYS = frozenset(
+    {"per_query", "latency", "reliability", "faults", "recovery"}
+)
 """Keys older files may legitimately lack (they default to empty)."""
 
 
@@ -76,6 +79,7 @@ def result_to_dict(result: RunResult) -> dict:
         "latency": result.latency,
         "reliability": {k: float(v) for k, v in result.reliability.items()},
         "faults": {k: float(v) for k, v in result.faults.items()},
+        "recovery": {k: float(v) for k, v in result.recovery.items()},
     }
 
 
@@ -126,6 +130,7 @@ def result_from_dict(payload: dict) -> RunResult:
         latency=payload.get("latency", {}),
         reliability=payload.get("reliability", {}),
         faults=payload.get("faults", {}),
+        recovery=payload.get("recovery", {}),
     )
 
 

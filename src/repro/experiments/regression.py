@@ -153,8 +153,17 @@ def compare(
     )
 
 
-CHAOS_MATCH_FIELDS = ("scale", "algorithm", "num_nodes", "level", "seed")
-"""Fields identifying 'the same chaos cell' across code versions."""
+CHAOS_MATCH_FIELDS = (
+    "scale",
+    "algorithm",
+    "num_nodes",
+    "level",
+    "seed",
+    "recovery_enabled",
+)
+"""Fields identifying 'the same chaos cell' across code versions (the
+``--recovery`` comparison mode emits the same (algo, level) cell twice,
+distinguished by ``recovery_enabled``)."""
 
 CHAOS_COMPARED_METRICS = (
     "epsilon",
@@ -163,6 +172,9 @@ CHAOS_COMPARED_METRICS = (
     "messages_blocked",
     "recovery_latency_mean_s",
     "worst_case_s",
+    "dead_letters",
+    "tuples_replayed",
+    "rejoin_latency_s",
 )
 
 

@@ -79,11 +79,19 @@ class GroundTruthOracle:
         Count windows evict only on insert (covered by
         :meth:`observe_arrival`); time windows also expire tuples between
         arrivals, which the node reports through this hook.
+
+        An id that already left the global view is ignored: checkpoint
+        restore rolls a recovering node's window back past evictions the
+        oracle has observed, so replayed arrivals re-evict resurrected
+        tuples.  Like shadow copies, those resurrections are artifacts of
+        the evaluation strategy -- the logical window evicted the tuple at
+        its original time, and pairs the resurrected copy completes later
+        are counted spurious, preserving Psi_hat as a subset of Psi.
         """
         live = self._live_ids[stream]
         for old in evicted:
             ids = live.get(old.key)
-            if ids:
+            if ids and old.tuple_id in ids:
                 ids.remove(old.tuple_id)
                 if not ids:
                     del live[old.key]

@@ -59,9 +59,21 @@ class FaultEvent:
     links: Tuple[Tuple[int, int], ...] = ()
     loss_probability: float = 0.0
     extra_latency_s: float = 0.0
+    downtime_s: float = 0.0
+    """NODE_CRASH only: when positive, the crash is *restartable* -- the
+    outage lasts ``downtime_s`` (overriding ``duration_s``) and the node
+    rejoins through the :mod:`repro.recovery` protocol instead of
+    silently resuming with its pre-crash state."""
+
+    @property
+    def restartable(self) -> bool:
+        """Whether this crash restarts through the recovery protocol."""
+        return self.kind is FaultKind.NODE_CRASH and self.downtime_s > 0
 
     @property
     def end_s(self) -> float:
+        if self.restartable:
+            return self.start_s + self.downtime_s
         return self.start_s + self.duration_s
 
     def validate(self, num_nodes: Optional[int] = None) -> None:
@@ -81,6 +93,10 @@ class FaultEvent:
             raise ConfigurationError("LOSS_BURST requires loss_probability in (0, 1]")
         if self.kind is FaultKind.LATENCY_SPIKE and self.extra_latency_s <= 0:
             raise ConfigurationError("LATENCY_SPIKE requires extra_latency_s > 0")
+        if self.downtime_s < 0:
+            raise ConfigurationError("fault downtime_s must be non-negative")
+        if self.downtime_s > 0 and self.kind is not FaultKind.NODE_CRASH:
+            raise ConfigurationError("downtime_s is only valid for NODE_CRASH")
         for source, destination in self.links:
             if source == destination:
                 raise ConfigurationError("fault link %d->%d is a self-loop" % (source, destination))
@@ -115,6 +131,8 @@ class FaultEvent:
         """Render this event in the compact grammar :meth:`FaultPlan.parse`
         reads (``kind@t=...,d=...,...``); the round trip is exact."""
         parts = ["t=%r" % self.start_s, "d=%r" % self.duration_s]
+        if self.downtime_s:
+            parts.append("downtime=%r" % self.downtime_s)
         if self.nodes:
             parts.append("nodes=%s" % "+".join(str(n) for n in self.nodes))
         for source, destination in self.links:
@@ -139,6 +157,8 @@ class FaultEvent:
             payload["loss_probability"] = self.loss_probability
         if self.extra_latency_s:
             payload["extra_latency_s"] = self.extra_latency_s
+        if self.downtime_s:
+            payload["downtime_s"] = self.downtime_s
         return payload
 
     @classmethod
@@ -158,6 +178,7 @@ class FaultEvent:
                 ),
                 loss_probability=float(payload.get("loss_probability", 0.0)),
                 extra_latency_s=float(payload.get("extra_latency_s", 0.0)),
+                downtime_s=float(payload.get("downtime_s", 0.0)),
             )
         except (KeyError, TypeError, ValueError, IndexError) as error:
             raise ConfigurationError("malformed fault event %r: %s" % (payload, error))
@@ -222,6 +243,8 @@ class FaultPlan:
           the first half of the mesh) off from the rest;
         * ``outage@t=5,d=2,link=0-1[,link=1-0]`` -- black-hole links;
         * ``crash@t=10,d=5,node=2`` -- crash node 2, restart 5 s later;
+        * ``crash@t=10,node=2,downtime=5`` -- restartable crash: node 2
+          is down 5 s, then rejoins via checkpoint recovery;
         * ``latency@t=5,d=3,extra=0.5`` -- +500 ms on every link;
         * ``loss@t=5,d=3,p=0.3`` -- 30 % extra drop chance on every link.
         """
@@ -276,6 +299,7 @@ def _parse_event_spec(chunk: str, num_nodes: Optional[int]) -> FaultEvent:
     links: List[Tuple[int, int]] = []
     loss = 0.0
     extra_latency = 0.0
+    downtime = 0.0
     for pair in filter(None, (p.strip() for p in arg_text.split(","))):
         key, eq, value = pair.partition("=")
         if not eq:
@@ -298,6 +322,8 @@ def _parse_event_spec(chunk: str, num_nodes: Optional[int]) -> FaultEvent:
             loss = _parse_float(value, chunk)
         elif key == "extra":
             extra_latency = _parse_seconds(value)
+        elif key == "downtime":
+            downtime = _parse_seconds(value)
         else:
             raise ConfigurationError("unknown fault argument %r in %r" % (key, chunk))
     if start is None:
@@ -320,6 +346,7 @@ def _parse_event_spec(chunk: str, num_nodes: Optional[int]) -> FaultEvent:
         links=tuple(links),
         loss_probability=loss,
         extra_latency_s=extra_latency,
+        downtime_s=downtime,
     )
     event.validate(num_nodes)
     return event
@@ -412,6 +439,16 @@ class FaultInjector:
         return any(
             event.kind is FaultKind.NODE_CRASH and node_id in event.nodes
             for event in self._active
+        )
+
+    def restartable_down(self, node_id: int) -> bool:
+        """Whether ``node_id`` is down under a *restartable* crash.
+
+        Restartable crashes (``downtime_s > 0``) take the recovery path:
+        local arrivals are logged for replay instead of being discarded.
+        """
+        return any(
+            event.restartable and node_id in event.nodes for event in self._active
         )
 
     def link_blocked(self, source: int, destination: int) -> bool:

@@ -63,6 +63,10 @@ class MessageKind(enum.Enum):
     HEARTBEAT = "heartbeat"
     """Liveness probe for the failure detector (header-only)."""
 
+    STATE_TRANSFER = "state_transfer"
+    """Recovery anti-entropy traffic (see repro.recovery): requests are
+    header-only; responses carry summary entries like any summary."""
+
 
 @dataclass
 class Message:

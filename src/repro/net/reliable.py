@@ -145,6 +145,11 @@ class ReliableTransport:
         self.duplicates_suppressed = 0
         self.delivery_failures = 0
         self.out_of_order_buffered = 0
+        self.channel_resets = 0
+        self.telemetry = None
+        """Optional :class:`repro.telemetry.TelemetryHub`; exhausted-retry
+        dead letters are emitted as events when set."""
+        self.telemetry_node = None
 
     def _channel(self, peer: int) -> ReliableChannel:
         if peer not in self._channels:
@@ -184,6 +189,18 @@ class ReliableTransport:
             return
         if state.attempts >= self.settings.max_retries:
             self.delivery_failures += 1
+            if self.telemetry is not None:
+                # Dead-letter visibility: the message is gone for good; say
+                # who it was for and what it carried so operators can tell a
+                # lost Bloom snapshot from a lost DFT delta.
+                self.telemetry.emit(
+                    "transport.dead_letter",
+                    category="transport",
+                    node=self.telemetry_node,
+                    peer=message.destination,
+                    kind=message.kind.value,
+                    attempts=state.attempts + 1,
+                )
             return
         self.retransmits += 1
         self._transmit(
@@ -245,6 +262,31 @@ class ReliableTransport:
         self.send_fn(ack)
 
     # ------------------------------------------------------------------
+    # channel resets (crash recovery)
+    # ------------------------------------------------------------------
+
+    def reset_peer(self, peer: int) -> None:
+        """Forget all ARQ state toward/from ``peer``.
+
+        A restarted peer comes back with sequence numbers at zero; keeping
+        our old channel would suppress everything it sends as duplicates
+        and park everything we send in its reorder buffer forever.  Both
+        sides of the recovery handshake (see repro.recovery) reset, so the
+        conversation restarts from seq 0 in both directions.
+        """
+        channel = self._channels.pop(peer, None)
+        if channel is None:
+            return
+        for state in channel.in_flight.values():
+            state.timer.cancel()
+        self.channel_resets += 1
+
+    def reset(self) -> None:
+        """Forget all ARQ state toward/from every peer (restart path)."""
+        for peer in list(self._channels):
+            self.reset_peer(peer)
+
+    # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------
 
@@ -256,4 +298,5 @@ class ReliableTransport:
             "duplicates_suppressed": float(self.duplicates_suppressed),
             "delivery_failures": float(self.delivery_failures),
             "out_of_order_buffered": float(self.out_of_order_buffered),
+            "channel_resets": float(self.channel_resets),
         }

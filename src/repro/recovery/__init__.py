@@ -1,0 +1,47 @@
+"""Checkpoint/restart recovery: crashed nodes rejoin instead of dying.
+
+Three pieces, composed by the node and the system:
+
+* :mod:`repro.recovery.settings` -- the knobs
+  (:class:`RecoverySettings`), off by default;
+* :mod:`repro.recovery.checkpoint` -- the deterministic, byte-stable
+  blob codec and the simulated durable store;
+* :mod:`repro.recovery.machine` -- the explicit
+  DOWN -> RESTORING -> CATCHING_UP -> LIVE rejoin state machine.
+
+See ``docs/recovery.md`` for the protocol walkthrough.
+"""
+
+from repro.recovery.checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    CheckpointStore,
+    decode_array,
+    decode_blob,
+    decode_tuple,
+    encode_array,
+    encode_blob,
+    encode_tuple,
+    restore_window,
+    window_state,
+)
+from repro.recovery.machine import TRIGGERS, RecoveryMachine, RecoveryPhase
+from repro.recovery.settings import RecoverySettings
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "Checkpoint",
+    "CheckpointStore",
+    "RecoveryMachine",
+    "RecoveryPhase",
+    "RecoverySettings",
+    "TRIGGERS",
+    "decode_array",
+    "decode_blob",
+    "decode_tuple",
+    "encode_array",
+    "encode_blob",
+    "encode_tuple",
+    "restore_window",
+    "window_state",
+]

@@ -1,0 +1,66 @@
+"""Knobs for the checkpoint/restart recovery subsystem.
+
+Everything is timed on the *simulated* clock and validated up front, in
+the same style as :class:`~repro.net.reliable.ReliabilitySettings`.  The
+master switch defaults off: a run without recovery is bit-for-bit the
+pre-recovery simulator (crashed sites stay silent and lose their
+arrivals, exactly as :mod:`repro.core.node` documents).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RecoverySettings:
+    """Checkpoint cadence and rejoin-protocol timers."""
+
+    enabled: bool = False
+    """Master switch.  Off (the default) keeps legacy crash semantics:
+    a crashed site loses its local arrivals outright and resumes silent
+    with whatever state it had."""
+
+    checkpoint_interval_s: float = 1.0
+    """Simulated seconds between durable per-node state snapshots."""
+
+    restore_delay_s: float = 0.05
+    """Time to load the latest checkpoint from durable storage after the
+    outage ends (models local disk read + deserialization)."""
+
+    catchup_timeout_s: float = 2.0
+    """Maximum time spent in CATCHING_UP waiting for peer state
+    transfers; on expiry the node goes LIVE *degraded* (its remote
+    summaries refill only through the normal broadcast cadence)."""
+
+    transfer_timeout_s: float = 0.4
+    """Initial deadline for one peer's STATE_TRANSFER response before
+    the request is retried."""
+
+    transfer_backoff: float = 2.0
+    """Timeout multiplier per consecutive state-transfer retry."""
+
+    max_transfer_retries: int = 3
+    """State-transfer request retries per peer before giving up on it."""
+
+    replay_log_capacity: int = 65_536
+    """Arrivals logged locally during an outage for replay at rejoin;
+    beyond this the oldest logged arrivals are dropped (counted)."""
+
+    def validate(self) -> None:
+        if self.checkpoint_interval_s <= 0:
+            raise ConfigurationError("checkpoint_interval_s must be positive")
+        if self.restore_delay_s < 0:
+            raise ConfigurationError("restore_delay_s must be non-negative")
+        if self.catchup_timeout_s <= 0:
+            raise ConfigurationError("catchup_timeout_s must be positive")
+        if self.transfer_timeout_s <= 0:
+            raise ConfigurationError("transfer_timeout_s must be positive")
+        if self.transfer_backoff < 1.0:
+            raise ConfigurationError("transfer_backoff must be >= 1")
+        if self.max_transfer_retries < 0:
+            raise ConfigurationError("max_transfer_retries must be non-negative")
+        if self.replay_log_capacity < 1:
+            raise ConfigurationError("replay_log_capacity must be >= 1")

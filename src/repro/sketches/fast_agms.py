@@ -129,6 +129,22 @@ class FastAgmsSketch:
             raise SummaryError("snapshot shape mismatch")
         self._counters = arr.reshape(self.shape.rows, self.shape.buckets).copy()
 
+    def checkpoint_state(self) -> dict:
+        """Exact snapshot for repro.recovery (counters + update count)."""
+        from repro.recovery.checkpoint import encode_array
+
+        return {"counters": encode_array(self._counters), "updates": self.updates}
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`checkpoint_state` on a same-shape sketch."""
+        from repro.recovery.checkpoint import decode_array
+
+        counters = decode_array(state["counters"])
+        if counters.shape != self._counters.shape:
+            raise SummaryError("checkpoint shape mismatch")
+        self._counters = counters
+        self.updates = int(state["updates"])
+
     def join_size_estimate(self, other: "FastAgmsSketch") -> float:
         """Median over rows of the per-row counter inner products."""
         self._check_compatible(other)

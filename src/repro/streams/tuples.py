@@ -28,6 +28,20 @@ class StreamId(enum.Enum):
 _tuple_ids = itertools.count()
 
 
+def reset_tuple_ids() -> None:
+    """Restart the tuple-id sequence at zero.
+
+    Ids only need to be unique within one run; the system resets the
+    sequence at construction so a rerun of the same configuration mints
+    the same ids.  Without this, checkpoint blobs (which encode
+    ``tuple_id`` verbatim, because result-pair dedup keys on it) would
+    grow by a few digits per in-process rerun and break the byte-identity
+    guarantee the recovery tests pin.
+    """
+    global _tuple_ids
+    _tuple_ids = itertools.count()
+
+
 @dataclass(frozen=True)
 class StreamTuple:
     """One stream element.

@@ -67,6 +67,18 @@ class SlidingWindow(abc.ABC):
         evicted, self._evicted = self._evicted, []
         return evicted
 
+    def restore(self, tuples: Iterable[StreamTuple], total_appended: int) -> None:
+        """Replace the window contents from a checkpoint.
+
+        The key multiset is rebuilt from the restored tuples, so the
+        window is internally consistent whatever state it held before.
+        """
+        items = list(tuples)
+        self._tuples = deque(items)
+        self._key_counts = Counter(t.key for t in items)
+        self._evicted = []
+        self.total_appended = int(total_appended)
+
     def _evict_oldest(self) -> StreamTuple:
         if not self._tuples:
             raise WindowError("evicting from an empty window")

@@ -28,6 +28,8 @@ Telemetry is off by default; enabling it is one config flag::
 from repro.telemetry.dashboard import AsciiDashboard
 from repro.telemetry.events import Emitter, TelemetryEvent, TelemetryHub, hub_if
 from repro.telemetry.exporters import (
+    EXPORT_FILENAMES,
+    JsonlStreamWriter,
     chrome_trace_events,
     export_all,
     export_chrome_trace,
@@ -49,9 +51,11 @@ from repro.telemetry.settings import TelemetrySettings
 __all__ = [
     "AsciiDashboard",
     "Counter",
+    "EXPORT_FILENAMES",
     "Emitter",
     "Gauge",
     "Histogram",
+    "JsonlStreamWriter",
     "MetricRegistry",
     "TelemetryEvent",
     "TelemetryHub",

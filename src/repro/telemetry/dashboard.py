@@ -93,6 +93,34 @@ class AsciiDashboard:
                 stats.messages_lost,
             )
         )
+        dead_letters = sum(
+            node.transport.delivery_failures
+            for node in system.nodes
+            if node.transport is not None
+        )
+        if dead_letters:
+            out.append(
+                "dead letters: %d reliable sends exhausted their retries"
+                % dead_letters
+            )
+        machines = [
+            node.recovery_machine
+            for node in system.nodes
+            if node.recovery_machine is not None
+        ]
+        if machines:
+            out.append(
+                "recovery: "
+                + "  ".join(
+                    "%d:%s%s"
+                    % (
+                        machine.node_id,
+                        machine.phase.value,
+                        "(degraded)" if machine.degraded else "",
+                    )
+                    for machine in machines
+                )
+            )
         self.stream.write("\n".join(out) + "\n")
         self._last_render = now
         self.frames_rendered += 1

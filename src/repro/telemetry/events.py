@@ -90,6 +90,7 @@ class TelemetryHub:
         )
         self._sequence = 0
         self.events_emitted = 0
+        self._event_sinks: List[Callable[[TelemetryEvent], None]] = []
         self._samplers: List[Sampler] = []
         self._last_sample_time: Optional[float] = None
         self.message_trace: Optional[MessageTrace] = (
@@ -132,7 +133,25 @@ class TelemetryHub:
         self._sequence += 1
         self.events_emitted += 1
         self._events.append(event)
+        for sink in self._event_sinks:
+            sink(event)
         self.registry.counter("repro_events_total", category=category).inc()
+
+    def add_event_sink(self, sink: Callable[[TelemetryEvent], None]) -> None:
+        """Stream every future event to ``sink`` the moment it is emitted.
+
+        Sinks see *all* events, including ones that later fall off the
+        bounded ring -- this is how the incremental JSONL exporter
+        (:class:`~repro.telemetry.exporters.JsonlStreamWriter`) escapes
+        the ring capacity that bounds the buffered export.  Events already
+        buffered are replayed to the sink first, so a sink attached right
+        after system construction still opens with the construction-time
+        events and its output stays byte-identical to the buffered export
+        (exact as long as the ring has not yet overflowed at attach time).
+        """
+        for event in self._events:
+            sink(event)
+        self._event_sinks.append(sink)
 
     def events(self) -> Iterator[TelemetryEvent]:
         """Retained events in emission order."""

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.telemetry.events import TelemetryEvent, TelemetryHub
@@ -75,6 +75,51 @@ def export_jsonl(
             handle.write(json.dumps(_event_payload(event), sort_keys=True))
             handle.write("\n")
     return path
+
+
+class JsonlStreamWriter:
+    """Incremental JSONL event log: each event hits disk as it is emitted.
+
+    :func:`export_jsonl` serializes the hub's bounded ring *after* the
+    run, so the log is capped at the ring capacity and nothing is
+    durable until the run ends.  The stream writer is the incremental
+    path: construct it with the run's manifest (the manifest is a pure
+    function of the configuration, so it exists before the first event),
+    attach it with ``hub.add_event_sink(writer.on_event)``, and every
+    event is appended to the file the moment ``emit`` fires.  For runs
+    whose ring never overflowed the bytes are identical to the buffered
+    export -- the regression tests pin exactly that equivalence.
+    """
+
+    def __init__(
+        self, path: Path, manifest: Optional[Dict[str, object]] = None
+    ) -> None:
+        self.path = Path(path)
+        self._handle = self.path.open("w")
+        self.events_written = 0
+        if manifest is not None:
+            self._handle.write(
+                json.dumps({"type": "manifest", "manifest": manifest}, sort_keys=True)
+            )
+            self._handle.write("\n")
+
+    def on_event(self, event: TelemetryEvent) -> None:
+        """The hub sink: serialize one event and append it."""
+        self._handle.write(json.dumps(_event_payload(event), sort_keys=True))
+        self._handle.write("\n")
+        self.events_written += 1
+
+    def close(self) -> Path:
+        """Flush and close the log; idempotent."""
+        if not self._handle.closed:
+            self._handle.close()
+        return self.path
+
+    def __enter__(self) -> "JsonlStreamWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 # ----------------------------------------------------------------------
@@ -321,22 +366,32 @@ def export_all(
     directory: Path,
     manifest: Optional[Dict[str, object]] = None,
     profiler=None,
+    skip: Tuple[str, ...] = (),
 ) -> Dict[str, Path]:
-    """Write every format into ``directory``; returns the paths by kind."""
+    """Write every format into ``directory``; returns the paths by kind.
+
+    ``skip`` names formats already produced elsewhere -- the CLI streams
+    the JSONL log during the run via :class:`JsonlStreamWriter` and
+    passes ``skip=("jsonl",)`` so the buffered exporter does not clobber
+    the (possibly more complete) streamed file.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    paths = {
-        "jsonl": export_jsonl(
+    paths: Dict[str, Path] = {}
+    if "jsonl" not in skip:
+        paths["jsonl"] = export_jsonl(
             hub, directory / EXPORT_FILENAMES["jsonl"], manifest=manifest
-        ),
-        "chrome_trace": export_chrome_trace(
+        )
+    if "chrome_trace" not in skip:
+        paths["chrome_trace"] = export_chrome_trace(
             hub, directory / EXPORT_FILENAMES["chrome_trace"], manifest=manifest
-        ),
-        "prometheus": export_prometheus(
+        )
+    if "prometheus" not in skip:
+        paths["prometheus"] = export_prometheus(
             hub, directory / EXPORT_FILENAMES["prometheus"], profiler=profiler
-        ),
-        "csv": export_csv(hub, directory / EXPORT_FILENAMES["csv"]),
-    }
+        )
+    if "csv" not in skip:
+        paths["csv"] = export_csv(hub, directory / EXPORT_FILENAMES["csv"])
     if manifest is not None:
         manifest_path = directory / EXPORT_FILENAMES["manifest"]
         manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")

@@ -52,7 +52,9 @@ def fault_events(draw):
     links = ()
     loss = 0.0
     extra = 0.0
+    downtime = 0.0
     if kind is FaultKind.NODE_CRASH:
+        downtime = draw(st.one_of(st.just(0.0), positive_seconds))
         nodes = tuple(
             sorted(
                 draw(
@@ -96,6 +98,7 @@ def fault_events(draw):
         links=links,
         loss_probability=loss,
         extra_latency_s=extra,
+        downtime_s=downtime,
     )
     event.validate(NUM_NODES)
     return event
@@ -166,6 +169,8 @@ INVALID_SPECS = [
     "crash@t=1,d=1,node=one",  # non-numeric node
     "crash@t=1,d=1,bogus=3",  # unknown argument
     "crash@t=1,d=1 node=1",  # missing '=' separator
+    "crash@t=1,d=1,node=1,downtime=-2",  # negative downtime
+    "loss@t=1,d=1,p=0.5,downtime=2",  # downtime is crash-only
 ]
 
 

@@ -54,6 +54,11 @@ def make_row(**overrides):
         resyncs=7.0,
         worst_case_s=3.5,
         duration_seconds=9.1,
+        recovery_enabled=False,
+        restarts=0.0,
+        tuples_replayed=0.0,
+        rejoin_latency_s=0.0,
+        dead_letters=0.0,
     )
     base.update(overrides)
     return ChaosRow(**base)
@@ -150,6 +155,53 @@ class TestFaultPlanBuilder:
         scale = get_scale("bench")
         level = ChaosLevel("storm", 0.3, 2.0, 1)
         assert build_fault_plan(level, scale, 8) == build_fault_plan(level, scale, 8)
+
+    def test_restartable_plan_keeps_the_same_outage_window(self):
+        scale = get_scale("smoke")
+        level = ChaosLevel("storm", 0.3, 2.0, 1)
+        legacy = build_fault_plan(level, scale, 8)
+        restartable = build_fault_plan(level, scale, 8, restartable=True)
+        for before, after in zip(legacy.events, restartable.events):
+            if after.kind is FaultKind.NODE_CRASH:
+                assert after.restartable
+                assert after.downtime_s == before.duration_s
+                assert after.end_s == before.end_s
+            else:
+                assert after == before
+
+
+class TestRecoveryComparison:
+    def test_common_truth_reclaims_epsilon(self):
+        from repro.experiments.chaos import format_recovery_comparison
+
+        # Legacy crash: truth shrank to 500 alongside the report, so the
+        # raw epsilon (0.1) flatters it.  Scored against the recovered
+        # run's fuller truth of 1000, the gap is honest: 0.55 vs 0.2.
+        baseline = [
+            make_row(truth_pairs=500, reported_pairs=450, epsilon=0.1),
+            make_row(level="clean", crash_count=0, epsilon=0.01),
+        ]
+        recovered = [
+            make_row(
+                truth_pairs=1000,
+                reported_pairs=800,
+                epsilon=0.2,
+                recovery_enabled=True,
+                restarts=1.0,
+                tuples_replayed=120.0,
+                rejoin_latency_s=0.3,
+            ),
+            make_row(level="clean", crash_count=0, recovery_enabled=True),
+        ]
+        table = format_recovery_comparison(baseline, recovered)
+        assert "0.55" in table and "0.2" in table and "0.35" in table
+        assert "clean" not in table  # crash-free cells have nothing to reclaim
+
+    def test_unpaired_rows_are_skipped(self):
+        from repro.experiments.chaos import format_recovery_comparison
+
+        table = format_recovery_comparison([make_row()], [])
+        assert "no crash cells" in table
 
 
 def worst_case_event(time, node, stream, active):

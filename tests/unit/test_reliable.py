@@ -181,6 +181,7 @@ class TestReceiver:
             "duplicates_suppressed",
             "delivery_failures",
             "out_of_order_buffered",
+            "channel_resets",
         }
         assert all(value == 0.0 for value in counters.values())
 
