@@ -14,6 +14,10 @@ repro.experiments.chaos``) and through the ``experiments`` subcommand::
 
     python -m repro experiments report smoke --only fig9
     python -m repro experiments chaos smoke --fault-grid "clean; storm@loss=0.4"
+
+Both sweep CLIs accept ``--jobs N`` (or ``REPRO_JOBS``) to fan cells
+over pool workers and ``--no-cache`` / ``--cache-dir`` to control the
+run-result cache; output is byte-identical at any jobs/cache setting.
 """
 
 from __future__ import annotations
@@ -268,7 +272,9 @@ def experiments_main(argv: Sequence[str]) -> int:
         print(
             "usage: repro experiments {%s} [args...]\n\n"
             "  chaos   accuracy-vs-failure-rate sweep under injected faults\n"
-            "  report  every table/figure reproduction in one run"
+            "  report  every table/figure reproduction in one run\n\n"
+            "both accept --jobs N (parallel workers; REPRO_JOBS), --no-cache,\n"
+            "and --cache-dir DIR (run-result cache; REPRO_CACHE_DIR)"
             % ",".join(EXPERIMENT_COMMANDS),
             file=sys.stdout if help_requested else sys.stderr,
         )

@@ -10,6 +10,7 @@ metrics of Section 6.
 from __future__ import annotations
 
 import itertools
+import math
 from typing import Dict, Iterator, List, Optional
 
 import numpy as np
@@ -399,6 +400,17 @@ class DistributedJoinSystem:
         settings = self.config.telemetry
         horizon = self._arrival_span + settings.sample_margin_s
         interval = settings.sample_interval_s
+        if settings.adaptive_sampling and settings.series_capacity > 2:
+            # Scheduled ticks plus the end-of-run tick; only stretch when
+            # the span genuinely overflows the rings, so short runs keep
+            # their exact tick set.  The -2 headroom absorbs both the
+            # final tick and int() truncation at the boundary.
+            projected = int(horizon / interval) + 2
+            if projected > settings.series_capacity:
+                stretch = math.ceil(
+                    horizon / (interval * (settings.series_capacity - 2))
+                )
+                interval = settings.sample_interval_s * max(1, stretch)
         count = int(horizon / interval) + 1
         for index in range(1, count + 1):
             self.scheduler.schedule_at(

@@ -42,6 +42,7 @@ def calibrate_budget(
     budget_range: Tuple[float, float] = (0.25, 0.0),
     max_probes: int = 7,
     tolerance: float = 0.02,
+    runner: Optional[Callable[[SystemConfig], RunResult]] = None,
 ) -> CalibrationResult:
     """Bisect the flow budget until the run's epsilon meets the target.
 
@@ -50,6 +51,11 @@ def calibrate_budget(
     closest to the target.  Raises :class:`CalibrationError` only for
     invalid inputs -- an unreachable target returns the best-effort
     endpoint, mirroring the paper's best-effort stance.
+
+    ``runner`` substitutes for :func:`run_experiment` per probe -- the
+    parallel layer passes a cache-aware runner so a repeated calibration
+    replays its bisection path from stored results.  The search itself
+    stays sequential (each probe's budget depends on the last epsilon).
     """
     if not 0.0 <= target_epsilon < 1.0:
         raise CalibrationError("target epsilon must lie in [0, 1)")
@@ -66,9 +72,11 @@ def calibrate_budget(
     best: Optional[CalibrationResult] = None
     probes = 0
 
+    execute = runner if runner is not None else run_experiment
+
     def probe(budget: float) -> float:
         nonlocal best, probes
-        result = run_experiment(make_config(budget))
+        result = execute(make_config(budget))
         probes += 1
         epsilon = result.epsilon
         candidate = CalibrationResult(

@@ -25,8 +25,12 @@ Usage::
         --fault-grid "clean; storm@loss=0.5; split@part=4s,crash=1" \\
         --out chaos.json --figure chaos.txt
     python -m repro.experiments.chaos smoke --baseline chaos.json
+    python -m repro.experiments.chaos smoke --jobs 4          # parallel cells
+    python -m repro.experiments.chaos smoke --no-cache        # force recompute
 
-(also reachable as ``python -m repro experiments chaos ...``).
+(also reachable as ``python -m repro experiments chaos ...``).  Cells
+fan out over :mod:`repro.parallel` workers and reuse its run-result
+cache; rows are byte-identical at any ``--jobs`` / cache setting.
 """
 
 from __future__ import annotations
@@ -39,7 +43,6 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.config import Algorithm
-from repro.core.system import DistributedJoinSystem
 from repro.errors import ConfigurationError
 from repro.experiments.ascii_plot import bar_chart, line_chart
 from repro.experiments.harness import (
@@ -51,6 +54,7 @@ from repro.experiments.harness import (
 from repro.experiments.reporting import format_table
 from repro.net.faults import FaultEvent, FaultKind, FaultPlan
 from repro.net.reliable import ReliabilitySettings
+from repro.parallel import RunCache, RunRequest, run_many
 from repro.recovery.settings import RecoverySettings
 
 CHAOS_FORMAT_VERSION = 2
@@ -346,6 +350,23 @@ def worst_case_seconds(events: Iterable, end_time: float) -> float:
     return total
 
 
+def worst_case_extractor(system, result) -> float:
+    """Read the worst-case residency off the *live* system's hub.
+
+    Registered as a :class:`~repro.parallel.RunRequest` extractor (by
+    ``"module:function"`` ref, so pool workers can resolve it): the flip
+    events live only in the in-memory telemetry hub, which never crosses
+    the process boundary -- the scalar does, and is cached alongside the
+    result.
+    """
+    return worst_case_seconds(system.telemetry.events(), result.duration_seconds)
+
+
+WORST_CASE_EXTRACTORS = (
+    ("worst_case_s", "repro.experiments.chaos:worst_case_extractor"),
+)
+
+
 # ----------------------------------------------------------------------
 # the sweep
 # ----------------------------------------------------------------------
@@ -359,6 +380,8 @@ def run(
     reliability: Optional[ReliabilitySettings] = None,
     recovery: Optional[RecoverySettings] = None,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 0,
+    cache: Optional[RunCache] = None,
 ) -> List[ChaosRow]:
     """Sweep ``algorithms`` x ``grid`` at one scale; one row per cell.
 
@@ -373,6 +396,10 @@ def run(
     *restartable* crash with the same outage window and runs each cell
     with checkpoint/restart rejoin on -- the cells then also report
     restarts, replayed arrivals, and rejoin latency.
+
+    ``jobs`` fans the cells over pool workers and ``cache`` skips cells
+    already computed; rows come back in grid order either way, so the
+    golden JSON is byte-identical across all three paths.
     """
     preset = get_scale(scale)
     if not algorithms:
@@ -389,7 +416,8 @@ def run(
         else ReliabilitySettings(enabled=True)
     )
     rejoin = recovery if recovery is not None and recovery.enabled else None
-    rows: List[ChaosRow] = []
+    requests: List[RunRequest] = []
+    cells: List[Tuple[Algorithm, ChaosLevel, FaultPlan]] = []
     for algorithm in algorithms:
         for level in levels:
             plan = build_fault_plan(
@@ -405,63 +433,72 @@ def run(
                 telemetry=True,
                 trace_messages=False,
             )
-            if progress is not None:
-                progress("chaos %s %s/%s" % (scale, algorithm.value, level.name))
-            system = DistributedJoinSystem(config)
-            result = system.run()
-            worst = worst_case_seconds(
-                system.telemetry.events(), result.duration_seconds
-            )
-            reliability_counters = result.reliability
-            faults = result.faults
-            recovery_counters = result.recovery
-            rows.append(
-                ChaosRow(
-                    scale=preset.name,
-                    algorithm=algorithm.value,
-                    num_nodes=mesh,
-                    seed=config.seed,
-                    level=level.name,
-                    loss_probability=level.loss_probability,
-                    partition_s=level.partition_s,
-                    crash_count=level.crash_count,
-                    fault_events=len(plan.events),
-                    epsilon=result.epsilon,
-                    truth_pairs=result.truth_pairs,
-                    reported_pairs=result.reported_pairs,
-                    total_bytes=float(result.traffic.get("total_bytes", 0.0)),
-                    bytes_lost=float(result.traffic.get("bytes_lost", 0.0)),
-                    data_messages=result.data_messages,
-                    messages_blocked=float(faults.get("messages_blocked", 0.0)),
-                    local_arrivals_dropped=float(
-                        faults.get("local_arrivals_dropped", 0.0)
-                    ),
-                    failures_detected=float(
-                        reliability_counters.get("failures_detected", 0.0)
-                    ),
-                    recoveries=float(reliability_counters.get("recoveries", 0.0)),
-                    recovery_latency_mean_s=float(
-                        reliability_counters.get("recovery_latency_mean_s", 0.0)
-                    ),
-                    recovery_latency_max_s=float(
-                        reliability_counters.get("recovery_latency_max_s", 0.0)
-                    ),
-                    resyncs=float(reliability_counters.get("resyncs", 0.0)),
-                    worst_case_s=worst,
-                    duration_seconds=result.duration_seconds,
-                    recovery_enabled=rejoin is not None,
-                    restarts=float(recovery_counters.get("restarts", 0.0)),
-                    tuples_replayed=float(
-                        recovery_counters.get("tuples_replayed", 0.0)
-                    ),
-                    rejoin_latency_s=float(
-                        recovery_counters.get("rejoin_latency_mean_s", 0.0)
-                    ),
-                    dead_letters=float(
-                        reliability_counters.get("delivery_failures", 0.0)
-                    ),
+            requests.append(
+                RunRequest(
+                    config=config,
+                    extractors=WORST_CASE_EXTRACTORS,
+                    label="chaos %s %s/%s" % (scale, algorithm.value, level.name),
                 )
             )
+            cells.append((algorithm, level, plan))
+    outcomes = run_many(requests, jobs=jobs, cache=cache, progress=progress)
+    rows: List[ChaosRow] = []
+    for (algorithm, level, plan), request, outcome in zip(
+        cells, requests, outcomes
+    ):
+        config = request.config
+        result = outcome.result
+        worst = float(outcome.extras["worst_case_s"])
+        reliability_counters = result.reliability
+        faults = result.faults
+        recovery_counters = result.recovery
+        rows.append(
+            ChaosRow(
+                scale=preset.name,
+                algorithm=algorithm.value,
+                num_nodes=mesh,
+                seed=config.seed,
+                level=level.name,
+                loss_probability=level.loss_probability,
+                partition_s=level.partition_s,
+                crash_count=level.crash_count,
+                fault_events=len(plan.events),
+                epsilon=result.epsilon,
+                truth_pairs=result.truth_pairs,
+                reported_pairs=result.reported_pairs,
+                total_bytes=float(result.traffic.get("total_bytes", 0.0)),
+                bytes_lost=float(result.traffic.get("bytes_lost", 0.0)),
+                data_messages=result.data_messages,
+                messages_blocked=float(faults.get("messages_blocked", 0.0)),
+                local_arrivals_dropped=float(
+                    faults.get("local_arrivals_dropped", 0.0)
+                ),
+                failures_detected=float(
+                    reliability_counters.get("failures_detected", 0.0)
+                ),
+                recoveries=float(reliability_counters.get("recoveries", 0.0)),
+                recovery_latency_mean_s=float(
+                    reliability_counters.get("recovery_latency_mean_s", 0.0)
+                ),
+                recovery_latency_max_s=float(
+                    reliability_counters.get("recovery_latency_max_s", 0.0)
+                ),
+                resyncs=float(reliability_counters.get("resyncs", 0.0)),
+                worst_case_s=worst,
+                duration_seconds=result.duration_seconds,
+                recovery_enabled=rejoin is not None,
+                restarts=float(recovery_counters.get("restarts", 0.0)),
+                tuples_replayed=float(
+                    recovery_counters.get("tuples_replayed", 0.0)
+                ),
+                rejoin_latency_s=float(
+                    recovery_counters.get("rejoin_latency_mean_s", 0.0)
+                ),
+                dead_letters=float(
+                    reliability_counters.get("delivery_failures", 0.0)
+                ),
+            )
+        )
     return rows
 
 
@@ -704,6 +741,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint cadence for --recovery (default: the subsystem's)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="pool workers for the sweep (default: REPRO_JOBS or 1; "
+        "results are byte-identical at any N)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every cell instead of reusing the run-result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default="",
+        metavar="DIR",
+        help="run-result cache location (default: REPRO_CACHE_DIR or .repro-cache)",
+    )
+    parser.add_argument(
         "--baseline",
         default="",
         metavar="FILE",
@@ -735,6 +791,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         else:
             algorithms = COMPARED_ALGORITHMS
         progress = lambda text: print(text, file=sys.stderr)
+        cache = None if args.no_cache else RunCache(args.cache_dir or None)
         comparison = ""
         if args.recovery:
             overrides = {"enabled": True}
@@ -747,6 +804,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 grid=grid,
                 num_nodes=args.nodes,
                 progress=lambda text: progress(text + " [no-recovery]"),
+                jobs=args.jobs,
+                cache=cache,
             )
             recovered_rows = run(
                 scale=args.scale,
@@ -755,6 +814,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 num_nodes=args.nodes,
                 recovery=rejoin,
                 progress=lambda text: progress(text + " [recovery]"),
+                jobs=args.jobs,
+                cache=cache,
             )
             comparison = format_recovery_comparison(baseline_rows, recovered_rows)
             rows = baseline_rows + recovered_rows
@@ -766,8 +827,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 grid=grid,
                 num_nodes=args.nodes,
                 progress=progress,
+                jobs=args.jobs,
+                cache=cache,
             )
             chart_rows = rows
+        if cache is not None:
+            print(cache.stats_line())
+            cache.write_manifest({"sweep": "chaos", "scale": args.scale})
         print(format_result(rows))
         print()
         if comparison:

@@ -18,8 +18,12 @@ from dataclasses import dataclass
 from typing import List, Sequence
 
 from repro.config import Algorithm, WorkloadKind
-from repro.core.system import run_experiment
-from repro.experiments.harness import FILTERED_ALGORITHMS, get_scale, system_config
+from repro.experiments.harness import (
+    FILTERED_ALGORITHMS,
+    get_scale,
+    run_grid,
+    system_config,
+)
 from repro.experiments.reporting import format_table
 
 SWEEP_BUDGET = 2.0
@@ -52,62 +56,76 @@ def run_panel_a(
     scale: str = "default",
     num_nodes: int = 8,
     algorithms: Sequence[Algorithm] = FILTERED_ALGORITHMS,
+    jobs: int = 0,
+    cache=None,
 ) -> List[Fig10aRow]:
     """Error-vs-kappa sweep at fixed window and node count."""
     preset = get_scale(scale)
-    rows = []
-    for kappa in preset.kappa_grid:
-        for algorithm in algorithms:
-            config = system_config(
-                preset,
-                algorithm,
-                num_nodes,
-                kappa=float(kappa),
-                workload_kind=WorkloadKind.ZIPF,
-                budget_override=SWEEP_BUDGET,
-            )
-            result = run_experiment(config)
-            rows.append(
-                Fig10aRow(
-                    kappa=int(kappa),
-                    summary_entries=config.policy.summary_budget(preset.window_size),
-                    algorithm=algorithm.value,
-                    epsilon=result.epsilon,
-                    messages_per_arrival=result.messages_per_arrival,
-                )
-            )
-    return rows
+    cells = [
+        (kappa, algorithm)
+        for kappa in preset.kappa_grid
+        for algorithm in algorithms
+    ]
+    configs = [
+        system_config(
+            preset,
+            algorithm,
+            num_nodes,
+            kappa=float(kappa),
+            workload_kind=WorkloadKind.ZIPF,
+            budget_override=SWEEP_BUDGET,
+        )
+        for kappa, algorithm in cells
+    ]
+    results = run_grid(configs, jobs=jobs, cache=cache)
+    return [
+        Fig10aRow(
+            kappa=int(kappa),
+            summary_entries=config.policy.summary_budget(preset.window_size),
+            algorithm=algorithm.value,
+            epsilon=result.epsilon,
+            messages_per_arrival=result.messages_per_arrival,
+        )
+        for (kappa, algorithm), config, result in zip(cells, configs, results)
+    ]
 
 
 def run_panel_b(
     scale: str = "default",
     algorithms: Sequence[Algorithm] = FILTERED_ALGORITHMS,
     kappa: float = 0.0,
+    jobs: int = 0,
+    cache=None,
 ) -> List[Fig10bRow]:
     """Error-vs-N sweep at the fixed default compression factor."""
     preset = get_scale(scale)
-    rows = []
-    for index, num_nodes in enumerate(preset.node_grid):
-        for algorithm in algorithms:
-            config = system_config(
-                preset,
-                algorithm,
-                num_nodes,
-                kappa=kappa,
-                workload_kind=WorkloadKind.ZIPF,
-                budget_override=SWEEP_BUDGET,
-                seed_offset=index,
-            )
-            result = run_experiment(config)
-            rows.append(
-                Fig10bRow(
-                    num_nodes=num_nodes,
-                    algorithm=algorithm.value,
-                    epsilon=result.epsilon,
-                    messages_per_arrival=result.messages_per_arrival,
-                )
-            )
-    return rows
+    cells = [
+        (index, num_nodes, algorithm)
+        for index, num_nodes in enumerate(preset.node_grid)
+        for algorithm in algorithms
+    ]
+    configs = [
+        system_config(
+            preset,
+            algorithm,
+            num_nodes,
+            kappa=kappa,
+            workload_kind=WorkloadKind.ZIPF,
+            budget_override=SWEEP_BUDGET,
+            seed_offset=index,
+        )
+        for index, num_nodes, algorithm in cells
+    ]
+    results = run_grid(configs, jobs=jobs, cache=cache)
+    return [
+        Fig10bRow(
+            num_nodes=num_nodes,
+            algorithm=algorithm.value,
+            epsilon=result.epsilon,
+            messages_per_arrival=result.messages_per_arrival,
+        )
+        for (_index, num_nodes, algorithm), result in zip(cells, results)
+    ]
 
 
 def format_panel_a(rows: Sequence[Fig10aRow]) -> str:

@@ -15,8 +15,12 @@ from dataclasses import dataclass
 from typing import List, Sequence
 
 from repro.config import Algorithm, WorkloadKind
-from repro.core.system import run_experiment
-from repro.experiments.harness import ExperimentScale, get_scale, system_config
+from repro.experiments.harness import (
+    ExperimentScale,
+    get_scale,
+    run_grid,
+    system_config,
+)
 from repro.experiments.reporting import format_table
 
 
@@ -31,7 +35,9 @@ class Fig8Row:
     epsilon: float
 
 
-def run(scale: str = "default", kappa: float = 0.0) -> List[Fig8Row]:
+def run(
+    scale: str = "default", kappa: float = 0.0, jobs: int = 0, cache=None
+) -> List[Fig8Row]:
     """DFT-policy runs across the node grid, overhead accounting on.
 
     Adding nodes adds stream *sources* (the paper's setting), so the
@@ -43,9 +49,8 @@ def run(scale: str = "default", kappa: float = 0.0) -> List[Fig8Row]:
     reference_nodes = preset.node_grid[0]
     per_node_tuples = max(1, preset.total_tuples // reference_nodes)
     per_node_rate = preset.arrival_rate / reference_nodes
-    rows = []
-    for index, num_nodes in enumerate(preset.node_grid):
-        config = system_config(
+    configs = [
+        system_config(
             preset,
             Algorithm.DFT,
             num_nodes,
@@ -55,17 +60,19 @@ def run(scale: str = "default", kappa: float = 0.0) -> List[Fig8Row]:
             total_tuples=per_node_tuples * num_nodes,
             arrival_rate=per_node_rate * num_nodes,
         )
-        result = run_experiment(config)
-        rows.append(
-            Fig8Row(
-                num_nodes=num_nodes,
-                summary_bytes=int(result.traffic["summary_bytes"]),
-                net_data_bytes=int(result.traffic["net_data_bytes"]),
-                overhead_percent=100.0 * result.summary_overhead_fraction,
-                epsilon=result.epsilon,
-            )
+        for index, num_nodes in enumerate(preset.node_grid)
+    ]
+    results = run_grid(configs, jobs=jobs, cache=cache)
+    return [
+        Fig8Row(
+            num_nodes=num_nodes,
+            summary_bytes=int(result.traffic["summary_bytes"]),
+            net_data_bytes=int(result.traffic["net_data_bytes"]),
+            overhead_percent=100.0 * result.summary_overhead_fraction,
+            epsilon=result.epsilon,
         )
-    return rows
+        for num_nodes, result in zip(preset.node_grid, results)
+    ]
 
 
 def format_result(rows: Sequence[Fig8Row]) -> str:

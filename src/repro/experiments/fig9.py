@@ -15,10 +15,9 @@ BASE needs no calibration.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import Algorithm, WorkloadKind
-from repro.core.system import run_experiment
 from repro.experiments.calibrate import calibrate_budget
 from repro.experiments.harness import (
     FILTERED_ALGORITHMS,
@@ -26,6 +25,7 @@ from repro.experiments.harness import (
     system_config,
 )
 from repro.experiments.reporting import format_table
+from repro.parallel import RunCache, cached_run, map_tasks
 
 TARGET_EPSILON = 0.15
 
@@ -43,64 +43,91 @@ class Fig9Cell:
     calibrated_budget: float
 
 
+def _run_cell(payload: Dict[str, object]) -> Fig9Cell:
+    """One (workload, N, algorithm) cell; module-level so pool workers
+    can import it, plain-dict payload so it pickles under spawn.
+
+    A calibrated cell is a whole bisection (each probe's budget depends
+    on the previous epsilon), so parallelism lives at the cell level and
+    the probes run sequentially inside -- through the cache, so a warm
+    rerun replays the identical search without simulating.
+    """
+    preset = get_scale(str(payload["scale"]))
+    workload = WorkloadKind(payload["workload"])
+    algorithm = Algorithm(payload["algorithm"])
+    num_nodes = int(payload["num_nodes"])  # type: ignore[arg-type]
+    index = int(payload["index"])  # type: ignore[arg-type]
+    cache = RunCache.from_spec(payload["cache"])  # type: ignore[arg-type]
+    if algorithm is Algorithm.BASE:
+        config = system_config(
+            preset,
+            Algorithm.BASE,
+            num_nodes,
+            workload_kind=workload,
+            seed_offset=index,
+        )
+        result = cached_run(config, cache)
+        return Fig9Cell(
+            workload=workload.value,
+            num_nodes=num_nodes,
+            algorithm=Algorithm.BASE.value,
+            messages_per_result_tuple=result.messages_per_result_tuple,
+            messages_per_arrival=result.messages_per_arrival,
+            achieved_epsilon=result.epsilon,
+            calibrated_budget=float(num_nodes - 1),
+        )
+    calibration = calibrate_budget(
+        lambda budget: system_config(
+            preset,
+            algorithm,
+            num_nodes,
+            workload_kind=workload,
+            budget_override=budget,
+            seed_offset=index,
+        ),
+        target_epsilon=float(payload["target_epsilon"]),  # type: ignore[arg-type]
+        max_probes=int(payload["max_probes"]),  # type: ignore[arg-type]
+        runner=lambda config: cached_run(config, cache),
+    )
+    result = calibration.result
+    return Fig9Cell(
+        workload=workload.value,
+        num_nodes=num_nodes,
+        algorithm=algorithm.value,
+        messages_per_result_tuple=result.messages_per_result_tuple,
+        messages_per_arrival=result.messages_per_arrival,
+        achieved_epsilon=calibration.achieved_epsilon,
+        calibrated_budget=calibration.budget,
+    )
+
+
 def run(
     scale: str = "default",
     workloads: Sequence[WorkloadKind] = (WorkloadKind.UNIFORM, WorkloadKind.ZIPF),
     target_epsilon: float = TARGET_EPSILON,
     max_probes: int = 5,
+    jobs: int = 0,
+    cache: Optional[RunCache] = None,
 ) -> List[Fig9Cell]:
     """Calibrated message-efficiency comparison."""
     preset = get_scale(scale)
-    cells = []
-    for workload in workloads:
-        for index, num_nodes in enumerate(preset.node_grid):
-            base_config = system_config(
-                preset,
-                Algorithm.BASE,
-                num_nodes,
-                workload_kind=workload,
-                seed_offset=index,
-            )
-            base_result = run_experiment(base_config)
-            cells.append(
-                Fig9Cell(
-                    workload=workload.value,
-                    num_nodes=num_nodes,
-                    algorithm=Algorithm.BASE.value,
-                    messages_per_result_tuple=base_result.messages_per_result_tuple,
-                    messages_per_arrival=base_result.messages_per_arrival,
-                    achieved_epsilon=base_result.epsilon,
-                    calibrated_budget=float(num_nodes - 1),
-                )
-            )
-            for algorithm in FILTERED_ALGORITHMS:
-                calibration = calibrate_budget(
-                    lambda budget, a=algorithm, n=num_nodes, w=workload, i=index: (
-                        system_config(
-                            preset,
-                            a,
-                            n,
-                            workload_kind=w,
-                            budget_override=budget,
-                            seed_offset=i,
-                        )
-                    ),
-                    target_epsilon=target_epsilon,
-                    max_probes=max_probes,
-                )
-                result = calibration.result
-                cells.append(
-                    Fig9Cell(
-                        workload=workload.value,
-                        num_nodes=num_nodes,
-                        algorithm=algorithm.value,
-                        messages_per_result_tuple=result.messages_per_result_tuple,
-                        messages_per_arrival=result.messages_per_arrival,
-                        achieved_epsilon=calibration.achieved_epsilon,
-                        calibrated_budget=calibration.budget,
-                    )
-                )
-    return cells
+    spec = None if cache is None else cache.spec()
+    payloads = [
+        {
+            "scale": scale,
+            "workload": workload.value,
+            "num_nodes": num_nodes,
+            "index": index,
+            "algorithm": algorithm.value,
+            "target_epsilon": target_epsilon,
+            "max_probes": max_probes,
+            "cache": spec,
+        }
+        for workload in workloads
+        for index, num_nodes in enumerate(preset.node_grid)
+        for algorithm in (Algorithm.BASE,) + tuple(FILTERED_ALGORITHMS)
+    ]
+    return list(map_tasks(_run_cell, payloads, jobs=jobs))
 
 
 def format_result(cells: Sequence[Fig9Cell]) -> str:

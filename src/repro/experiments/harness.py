@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.config import (
     Algorithm,
@@ -167,6 +167,26 @@ def system_config(
     if recovery is not None:
         config = dataclasses.replace(config, recovery=recovery)
     return config
+
+
+def run_grid(
+    configs: Iterable[SystemConfig],
+    jobs: int = 0,
+    cache=None,
+    progress: Optional[Callable[[str], None]] = None,
+    labels: Optional[Sequence[str]] = None,
+) -> List:
+    """Run a grid of configurations through the parallel runner.
+
+    The shared sweep primitive: every figure builds its full config list
+    first, then runs it here -- ``jobs`` fans cells over processes,
+    ``cache`` (a :class:`repro.parallel.RunCache`) skips cells already
+    computed, and results always come back in config order, so serial,
+    parallel, and cached sweeps are byte-identical.
+    """
+    from repro.parallel import run_configs
+
+    return run_configs(configs, jobs=jobs, cache=cache, progress=progress, labels=labels)
 
 
 COMPARED_ALGORITHMS: Tuple[Algorithm, ...] = (

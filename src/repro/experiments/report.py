@@ -3,10 +3,16 @@
 Usage::
 
     python -m repro.experiments.report [scale] [--only table1,fig3,...]
+        [--jobs N] [--no-cache] [--cache-dir DIR]
 
 ``scale`` is ``smoke``, ``bench``, ``default`` (the default) or ``full``.
 The analytic experiments (Table 1, Figures 3-6) ignore the scale's
 simulation parameters and use their own signal sizes.
+
+``--jobs`` fans simulation cells over pool workers (byte-identical
+output at any N); the run-result cache is on by default, so a repeated
+report recomputes only the cells whose configuration or code changed --
+``--no-cache`` forces everything fresh.
 """
 
 from __future__ import annotations
@@ -51,13 +57,13 @@ def _banner(title: str) -> None:
     print("=" * 72)
 
 
-def run_report(scale: str, only) -> None:
+def run_report(scale: str, only, jobs: int = 0, cache=None) -> None:
     selected = set(only) if only else set(ALL_EXPERIMENTS)
     started = time.time()
 
     if "table1" in selected:
         _banner("Table 1 -- CPU time: full DFT vs incremental DFT vs AGMS")
-        print(table1.format_result(table1.run()))
+        print(table1.format_result(table1.run(jobs=jobs)))
 
     if "fig3" in selected:
         _banner("Figure 3 -- uniform-data bounds (Theorems 1-2)")
@@ -102,16 +108,21 @@ def run_report(scale: str, only) -> None:
 
     if "fig8" in selected:
         _banner("Figure 8 -- coefficient overhead %% vs nodes (scale=%s)" % scale)
-        print(fig8.format_result(fig8.run(scale)))
+        print(fig8.format_result(fig8.run(scale, jobs=jobs, cache=cache)))
 
     if "fig9" in selected:
         _banner("Figure 9 -- messages per result tuple at eps=15%% (scale=%s)" % scale)
-        cells = fig9.run(scale, workloads=(WorkloadKind.UNIFORM, WorkloadKind.ZIPF))
+        cells = fig9.run(
+            scale,
+            workloads=(WorkloadKind.UNIFORM, WorkloadKind.ZIPF),
+            jobs=jobs,
+            cache=cache,
+        )
         print(fig9.format_result(cells))
 
     if "fig10" in selected:
         _banner("Figure 10a -- error vs kappa (scale=%s)" % scale)
-        panel_a = fig10.run_panel_a(scale)
+        panel_a = fig10.run_panel_a(scale, jobs=jobs, cache=cache)
         print(fig10.format_panel_a(panel_a))
         print()
         series_a = {}
@@ -119,7 +130,7 @@ def run_report(scale: str, only) -> None:
             series_a.setdefault(row.algorithm, []).append((row.kappa, row.epsilon))
         print(line_chart(series_a, y_label="epsilon vs kappa"))
         _banner("Figure 10b -- error vs nodes (scale=%s)" % scale)
-        panel_b = fig10.run_panel_b(scale)
+        panel_b = fig10.run_panel_b(scale, jobs=jobs, cache=cache)
         print(fig10.format_panel_b(panel_b))
         print()
         series_b = {}
@@ -129,7 +140,7 @@ def run_report(scale: str, only) -> None:
 
     if "fig11" in selected:
         _banner("Figure 11 -- throughput at eps=15%% (scale=%s)" % scale)
-        throughput_rows = fig11.run(scale)
+        throughput_rows = fig11.run(scale, jobs=jobs, cache=cache)
         print(fig11.format_result(throughput_rows))
         print()
         series_t = {}
@@ -141,22 +152,48 @@ def run_report(scale: str, only) -> None:
 
     if "chaos" in selected:
         _banner("Chaos sweep -- accuracy vs failure rate (scale=%s)" % scale)
-        chaos_rows = chaos.run(scale)
+        chaos_rows = chaos.run(scale, jobs=jobs, cache=cache)
         print(chaos.format_result(chaos_rows))
         print()
         print(chaos.figure(chaos_rows))
 
     print()
     print("report complete in %.1f s" % (time.time() - started))
+    # Cache provenance prints *after* the timing line: everything above
+    # it is byte-identical across jobs/cache settings, everything below
+    # is run provenance.
+    if cache is not None:
+        print(cache.stats_line())
+        cache.write_manifest({"sweep": "report", "scale": scale})
 
 
 def main(argv=None) -> int:
+    from repro.parallel import resolve_cache
+
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("scale", nargs="?", default="bench",
                         choices=["smoke", "bench", "default", "full"])
     parser.add_argument(
         "--only",
         help="comma-separated subset of: %s" % ", ".join(ALL_EXPERIMENTS),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="pool workers for simulation sweeps (default: REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every cell instead of reusing the run-result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default="",
+        metavar="DIR",
+        help="run-result cache location (default: REPRO_CACHE_DIR or .repro-cache)",
     )
     args = parser.parse_args(argv)
     only = None
@@ -165,7 +202,8 @@ def main(argv=None) -> int:
         unknown = set(only) - set(ALL_EXPERIMENTS)
         if unknown:
             parser.error("unknown experiments: %s" % ", ".join(sorted(unknown)))
-    run_report(args.scale, only)
+    cache = resolve_cache(args.no_cache, args.cache_dir)
+    run_report(args.scale, only, jobs=args.jobs, cache=cache)
     return 0
 
 

@@ -21,7 +21,7 @@ from typing import List, Sequence, Tuple
 
 from repro.config import Algorithm, PolicyConfig, SystemConfig, WorkloadConfig
 from repro.core.flow import FlowSettings
-from repro.core.system import run_experiment
+from repro.experiments.harness import run_grid
 from repro.experiments.reporting import format_table
 
 DEFAULT_SKEWS = (0.0, 0.3, 0.6, 0.85, 0.95)
@@ -65,41 +65,53 @@ def _config(algorithm: Algorithm, skew: float, alpha: float, seed: int) -> Syste
 
 
 def sweep_skew(
-    skews: Sequence[float] = DEFAULT_SKEWS, alpha: float = 0.4, seed: int = 29
+    skews: Sequence[float] = DEFAULT_SKEWS,
+    alpha: float = 0.4,
+    seed: int = 29,
+    jobs: int = 0,
+    cache=None,
 ) -> List[SensitivityRow]:
     """DFTT advantage as a function of geographic skew."""
-    rows = []
-    for skew in skews:
-        dftt = run_experiment(_config(Algorithm.DFTT, skew, alpha, seed))
-        round_robin = run_experiment(_config(Algorithm.ROUND_ROBIN, skew, alpha, seed))
-        rows.append(
-            SensitivityRow(
-                parameter="skew",
-                value=float(skew),
-                epsilon_dftt=dftt.epsilon,
-                epsilon_round_robin=round_robin.epsilon,
-            )
+    configs = [
+        _config(algorithm, skew, alpha, seed)
+        for skew in skews
+        for algorithm in (Algorithm.DFTT, Algorithm.ROUND_ROBIN)
+    ]
+    results = run_grid(configs, jobs=jobs, cache=cache)
+    return [
+        SensitivityRow(
+            parameter="skew",
+            value=float(skew),
+            epsilon_dftt=results[2 * index].epsilon,
+            epsilon_round_robin=results[2 * index + 1].epsilon,
         )
-    return rows
+        for index, skew in enumerate(skews)
+    ]
 
 
 def sweep_alpha(
-    alphas: Sequence[float] = DEFAULT_ALPHAS, skew: float = 0.85, seed: int = 29
+    alphas: Sequence[float] = DEFAULT_ALPHAS,
+    skew: float = 0.85,
+    seed: int = 29,
+    jobs: int = 0,
+    cache=None,
 ) -> List[SensitivityRow]:
     """DFTT advantage as a function of popularity concentration."""
-    rows = []
-    for alpha in alphas:
-        dftt = run_experiment(_config(Algorithm.DFTT, skew, alpha, seed))
-        round_robin = run_experiment(_config(Algorithm.ROUND_ROBIN, skew, alpha, seed))
-        rows.append(
-            SensitivityRow(
-                parameter="alpha",
-                value=float(alpha),
-                epsilon_dftt=dftt.epsilon,
-                epsilon_round_robin=round_robin.epsilon,
-            )
+    configs = [
+        _config(algorithm, skew, alpha, seed)
+        for alpha in alphas
+        for algorithm in (Algorithm.DFTT, Algorithm.ROUND_ROBIN)
+    ]
+    results = run_grid(configs, jobs=jobs, cache=cache)
+    return [
+        SensitivityRow(
+            parameter="alpha",
+            value=float(alpha),
+            epsilon_dftt=results[2 * index].epsilon,
+            epsilon_round_robin=results[2 * index + 1].epsilon,
         )
-    return rows
+        for index, alpha in enumerate(alphas)
+    ]
 
 
 def format_rows(rows: Sequence[SensitivityRow]) -> str:

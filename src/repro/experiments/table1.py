@@ -20,14 +20,15 @@ maintenance steps at window size W --
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from repro._rng import ensure_rng
+from repro._rng import ensure_rng, spawn
 from repro.dft.control import ControlVector
 from repro.dft.sliding import SlidingDFT, low_frequency_bins
 from repro.experiments.reporting import format_table
+from repro.parallel import map_tasks
 from repro.profiling import Stopwatch
 from repro.sketches.agms import AgmsSketch, SketchShape
 
@@ -98,32 +99,57 @@ def _time_agms(
     return watch
 
 
+def _measure_window(payload: Dict[str, int]) -> Table1Row:
+    """One window-size row.  Each cell derives its own child generator
+    (``spawn`` from the root seed, indexed by position), so cells are
+    independent of execution order and can run in pool workers."""
+    window = int(payload["window"])
+    updates = int(payload["updates"])
+    kappa = int(payload["kappa"])
+    children = spawn(ensure_rng(int(payload["seed"])), int(payload["count"]))
+    rng = children[int(payload["position"])]
+    signal = rng.integers(1, 2**19, size=window + updates).astype(np.float64)
+    full = _time_full_dft(signal, window, updates)
+    incremental = _time_incremental_dft(signal, window, updates, kappa)
+    agms = _time_agms(signal, window, updates, kappa, rng)
+    return Table1Row(
+        window_size=window,
+        full_dft_seconds=full.wall_seconds,
+        incremental_dft_seconds=incremental.wall_seconds,
+        agms_seconds=agms.wall_seconds,
+        full_dft_cpu_seconds=full.cpu_seconds,
+        incremental_dft_cpu_seconds=incremental.cpu_seconds,
+        agms_cpu_seconds=agms.cpu_seconds,
+    )
+
+
 def run(
     windows: Sequence[int] = DEFAULT_WINDOWS,
     updates: int = 200,
     kappa: int = 256,
     seed: int = 2007,
+    jobs: int = 0,
 ) -> List[Table1Row]:
-    """Measure the three maintenance strategies at each window size."""
-    rng = ensure_rng(seed)
-    rows = []
-    for window in windows:
-        signal = rng.integers(1, 2**19, size=window + updates).astype(np.float64)
-        full = _time_full_dft(signal, window, updates)
-        incremental = _time_incremental_dft(signal, window, updates, kappa)
-        agms = _time_agms(signal, window, updates, kappa, rng)
-        rows.append(
-            Table1Row(
-                window_size=window,
-                full_dft_seconds=full.wall_seconds,
-                incremental_dft_seconds=incremental.wall_seconds,
-                agms_seconds=agms.wall_seconds,
-                full_dft_cpu_seconds=full.cpu_seconds,
-                incremental_dft_cpu_seconds=incremental.cpu_seconds,
-                agms_cpu_seconds=agms.cpu_seconds,
-            )
-        )
-    return rows
+    """Measure the three maintenance strategies at each window size.
+
+    Rows are *timings* and therefore never cached; ``jobs > 1`` spreads
+    the windows over workers, which shortens the wall clock but -- on a
+    busy machine -- lets concurrent cells contend for cores, so keep
+    timing runs at ``jobs=1`` when the absolute numbers matter (the
+    shape, full DFT >> incremental, survives contention comfortably).
+    """
+    payloads = [
+        {
+            "window": window,
+            "updates": updates,
+            "kappa": kappa,
+            "seed": seed,
+            "count": len(list(windows)),
+            "position": position,
+        }
+        for position, window in enumerate(windows)
+    ]
+    return list(map_tasks(_measure_window, payloads, jobs=jobs))
 
 
 def format_result(rows: Sequence[Table1Row]) -> str:

@@ -42,6 +42,19 @@ def reset_tuple_ids() -> None:
     _tuple_ids = itertools.count()
 
 
+def peek_next_tuple_ids() -> int:
+    """The id the next minted tuple would get, without consuming it.
+
+    The parallel runner's worker entrypoint asserts this is 0 after its
+    per-cell reset, so a cell computed in a pool worker pickles
+    identically to one computed serially (or served from the cache).
+    """
+    global _tuple_ids
+    value = next(_tuple_ids)
+    _tuple_ids = itertools.count(value)
+    return value
+
+
 @dataclass(frozen=True)
 class StreamTuple:
     """One stream element.

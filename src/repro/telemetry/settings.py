@@ -36,6 +36,13 @@ class TelemetrySettings:
     series_capacity: int = 4_096
     """Ring capacity of each per-instrument time series."""
 
+    adaptive_sampling: bool = True
+    """Back off the sampling interval on long runs: when the span would
+    need more ticks than ``series_capacity``, the interval is stretched
+    by the smallest integer factor that makes the rings cover the whole
+    span instead of just its tail.  Runs short enough to fit are
+    scheduled exactly as before (byte-identical)."""
+
     trace_messages: bool = True
     """Emit one structured event per network send/deliver/drop and keep a
     :class:`~repro.net.trace.MessageTrace` view.  The single cardinality

@@ -1,0 +1,136 @@
+"""Parallel == serial == cached, end to end.
+
+The contract the whole runner hangs on: a sweep's output is a pure
+function of its configs, so running it over N pool workers -- or serving
+it from a warm cache -- must produce *byte-identical* artifacts.  These
+tests pin that with ``pickle.dumps`` equality (the strictest practical
+comparison: every field of every row) and with the report CLI's stdout.
+
+Pool tests use ``jobs=2``/``jobs=3`` on purpose even though CI may have
+one core: correctness of the merge order and worker-side state resets is
+what is asserted, not speedup.
+"""
+
+import contextlib
+import dataclasses
+import io
+import pickle
+
+import pytest
+
+from repro.config import Algorithm
+from repro.experiments import chaos, fig8, report
+from repro.experiments.harness import get_scale, system_config
+from repro.parallel import (
+    RunCache,
+    cached_run,
+    execute_cell,
+    reset_simulation_counter,
+    run_configs,
+    simulations_run,
+)
+from repro.streams.tuples import StreamId, StreamTuple
+
+SMALL_GRID = chaos.parse_grid("clean; squall@loss=0.25")
+
+
+class TestSerialParallelIdentity:
+    def test_fig8_rows_identical_at_any_jobs(self):
+        serial = fig8.run("smoke")
+        parallel = fig8.run("smoke", jobs=2)
+        assert pickle.dumps(serial) == pickle.dumps(parallel)
+
+    def test_chaos_grid_identical_at_any_jobs(self):
+        serial = chaos.run(
+            "smoke", algorithms=(Algorithm.DFTT,), grid=SMALL_GRID
+        )
+        parallel = chaos.run(
+            "smoke", algorithms=(Algorithm.DFTT,), grid=SMALL_GRID, jobs=3
+        )
+        assert chaos.rows_to_json(serial) == chaos.rows_to_json(parallel)
+        assert pickle.dumps(serial) == pickle.dumps(parallel)
+
+    def test_report_stdout_identical_at_any_jobs(self):
+        def capture(jobs):
+            out = io.StringIO()
+            with contextlib.redirect_stdout(out):
+                report.run_report("smoke", ["fig8"], jobs=jobs)
+            text = out.getvalue()
+            # Everything above the timing line is the deterministic
+            # artifact; the wall clock below it legitimately varies.
+            return text[: text.index("report complete")]
+
+        assert capture(1) == capture(4)
+
+
+class TestRunCacheEndToEnd:
+    def test_warm_sweep_runs_zero_simulations(self, tmp_path):
+        cache = RunCache(str(tmp_path))
+        cold = chaos.run(
+            "smoke",
+            algorithms=(Algorithm.DFTT,),
+            grid=SMALL_GRID,
+            cache=cache,
+        )
+        assert cache.stats()["stores"] == len(cold)
+
+        warm_cache = RunCache(str(tmp_path))
+        reset_simulation_counter()
+        warm = chaos.run(
+            "smoke",
+            algorithms=(Algorithm.DFTT,),
+            grid=SMALL_GRID,
+            cache=warm_cache,
+        )
+        assert simulations_run() == 0
+        assert warm_cache.stats() == {"hits": len(cold), "misses": 0, "stores": 0}
+        assert pickle.dumps(cold) == pickle.dumps(warm)
+
+    def test_cached_result_matches_fresh_field_for_field(self, tmp_path):
+        config = system_config(get_scale("smoke"), Algorithm.DFTT, 3)
+        fresh, _extras = execute_cell(config)
+        cache = RunCache(str(tmp_path))
+        first = cached_run(config, cache)
+        second = cached_run(config, cache)
+        assert pickle.dumps(fresh) == pickle.dumps(first)
+        # The cache-served copy is a pickle round trip: equal in every
+        # field (byte-for-byte per field -- whole-object dumps can differ
+        # only in the interpreter's string-interning memo layout, never
+        # in content).
+        assert second == fresh
+        for field in dataclasses.fields(fresh):
+            assert pickle.dumps(getattr(second, field.name)) == pickle.dumps(
+                getattr(fresh, field.name)
+            ), field.name
+        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1}
+
+    def test_cache_respects_jobs_boundary(self, tmp_path):
+        preset = get_scale("smoke")
+        configs = [
+            system_config(preset, Algorithm.DFTT, n, seed_offset=i)
+            for i, n in enumerate(preset.node_grid)
+        ]
+        cache = RunCache(str(tmp_path))
+        cold = run_configs(configs, jobs=2, cache=cache)
+        warm = run_configs(configs, jobs=2, cache=cache)
+        assert cache.hits == len(configs)
+        assert cold == warm
+
+
+class TestWorkerStateReset:
+    def test_dirty_tuple_counter_does_not_leak_into_a_cell(self):
+        config = system_config(get_scale("smoke"), Algorithm.DFTT, 3)
+        clean, _ = execute_cell(config)
+        # Simulate a polluted process: mint ids so the global sequence
+        # is far from zero, then run again.  execute_cell must reset.
+        for _ in range(100):
+            StreamTuple(stream=StreamId.R, key=1, origin_node=0, arrival_index=0)
+        dirty, _ = execute_cell(config)
+        assert pickle.dumps(clean) == pickle.dumps(dirty)
+
+    def test_simulation_counter_tracks_executions(self):
+        config = system_config(get_scale("smoke"), Algorithm.DFTT, 3)
+        reset_simulation_counter()
+        execute_cell(config)
+        execute_cell(config)
+        assert simulations_run() == 2
