@@ -34,7 +34,7 @@ from repro.join.hash_join import JoinResult, SymmetricHashJoin
 from repro.metrics.accounting import ResultCollector
 from repro.net.message import Message, MessageKind
 from repro.net.reliable import ReliableTransport
-from repro.net.simulator import Event, EventScheduler
+from repro.net.simulator import Event, EventKeySource, EventScheduler
 from repro.net.topology import Network
 from repro.recovery.checkpoint import (
     CHECKPOINT_VERSION,
@@ -66,6 +66,8 @@ class QueryRuntime:
     shadow_windows: Dict[StreamId, Dict[int, SlidingWindow]] = field(
         default_factory=lambda: {StreamId.R: {}, StreamId.S: {}}
     )
+    seen_pairs: set = field(default_factory=set)
+    """Result pairs this node already shipped (node-local RESULT dedup)."""
 
 
 class JoinProcessingNode:
@@ -91,6 +93,15 @@ class JoinProcessingNode:
         self.config = config
         self.scheduler = scheduler
         self.network = network
+        self._event_keys = EventKeySource(node_id)
+        """Entity-local event keys for everything this node schedules
+        (service completions, recovery timers, ARQ retransmits) -- the
+        ordering contract the sharded engine depends on."""
+        self.accounting_ops: List[tuple] = []
+        """Deferred ground-truth/collector operations, logged in service
+        order and replayed in canonical ``(time, node, seq)`` order at
+        collect time (see repro.metrics.accounting.replay_accounting)."""
+        self._acct_seq = 0
         self._queries: Dict[int, QueryRuntime] = {}
         self.add_query(0, policy, oracle, collector)
         self._queue: Deque[Tuple[str, object]] = deque()
@@ -106,6 +117,8 @@ class JoinProcessingNode:
         self.transport = transport
         """Reliable control-plane endpoint; ``None`` runs the paper's
         pure best-effort wire protocol (the default)."""
+        if transport is not None:
+            transport.key_source = self._event_keys
         self.profiler = profiler
         """Optional :class:`~repro.profiling.KernelProfiler`; when set,
         every service is accounted to a per-kind kernel section."""
@@ -356,7 +369,12 @@ class JoinProcessingNode:
                 dur_s=service_time,
                 kind=kind,
             )
-        self.scheduler.schedule_in(service_time, self._finish_service)
+        self.scheduler.schedule_in(
+            service_time,
+            self._finish_service,
+            key=self._event_keys.next_key(),
+            home=self.node_id,
+        )
 
     def _dispatch(self, kind: str, payload: object) -> float:
         if kind == "local":
@@ -411,7 +429,7 @@ class JoinProcessingNode:
             window = runtime.join.window(stream)
             expired = window.advance_to(now)
             if expired:
-                runtime.oracle.observe_evictions(stream, expired)
+                self._log_op(runtime, now, "evict", (stream, tuple(expired)))
                 runtime.policy.on_evictions(stream, expired)
             for shadow in runtime.shadow_windows[stream].values():
                 shadow.advance_to(now)
@@ -430,7 +448,7 @@ class JoinProcessingNode:
         # Probe + insert against the local windows, probe the shadow copies.
         results, evicted = runtime.join.insert_local(item, now)
         results.extend(self._probe_shadow(runtime, item, now))
-        runtime.oracle.observe_arrival(item, evicted)
+        self._log_op(runtime, now, "arrival", (item, tuple(evicted)))
         result_pause = self._report_results(runtime, results, now)
 
         # Summaries update before the forwarding decision (Figure 7 order).
@@ -478,7 +496,7 @@ class JoinProcessingNode:
             for item in items:
                 results, evicted = runtime.join.insert_local(item, now)
                 results.extend(self._probe_shadow(runtime, item, now))
-                runtime.oracle.observe_arrival(item, evicted)
+                self._log_op(runtime, now, "arrival", (item, tuple(evicted)))
                 batch_results.append(results)
                 batch_evictions.append(evicted)
             runtime.policy.on_local_insert_batch(items, batch_evictions)
@@ -693,7 +711,10 @@ class JoinProcessingNode:
                 "recovery.restart", category="recovery", node=self.node_id, time=now
             )
         self._restore_event = self.scheduler.schedule_in(
-            self.recovery_settings.restore_delay_s, self._complete_restore
+            self.recovery_settings.restore_delay_s,
+            self._complete_restore,
+            key=self._event_keys.next_key(),
+            home=self.node_id,
         )
 
     def _complete_restore(self) -> None:
@@ -739,7 +760,10 @@ class JoinProcessingNode:
         for peer in self._peer_ids:
             self._send_transfer_request(peer)
         self._catchup_deadline = self.scheduler.schedule_in(
-            self.recovery_settings.catchup_timeout_s, self._on_catchup_deadline
+            self.recovery_settings.catchup_timeout_s,
+            self._on_catchup_deadline,
+            key=self._event_keys.next_key(),
+            home=self.node_id,
         )
 
     def _send_transfer_request(self, peer: int) -> None:
@@ -762,7 +786,10 @@ class JoinProcessingNode:
                 self.recovery_settings.transfer_backoff ** attempts
             )
             self._transfer_timers[peer] = self.scheduler.schedule_in(
-                delay, lambda p=peer: self._on_transfer_timeout(p)
+                delay,
+                lambda p=peer: self._on_transfer_timeout(p),
+                key=self._event_keys.next_key(),
+                home=self.node_id,
             )
 
     def _on_transfer_timeout(self, peer: int) -> None:
@@ -877,6 +904,25 @@ class JoinProcessingNode:
                     results.append(JoinResult(match, item, self.node_id, now))
         return results
 
+    def _log_op(
+        self, runtime: QueryRuntime, now: float, kind: str, payload: tuple
+    ) -> None:
+        """Defer one oracle/collector operation to collect-time replay.
+
+        The ground-truth oracle and result collector are the only pieces
+        of *global* mutable state in the data plane; touching them from
+        inside the event loop would force every execution engine to
+        reproduce the exact global interleaving of node events.  Logging
+        the operations instead -- keyed ``(time, node, per-node seq)`` --
+        lets both the serial and the sharded engine replay them in one
+        canonical order, so accuracy accounting is engine-independent by
+        construction.
+        """
+        self.accounting_ops.append(
+            (now, self.node_id, self._acct_seq, runtime.query_id, kind, payload)
+        )
+        self._acct_seq += 1
+
     def _report_results(
         self, runtime: QueryRuntime, results: List[JoinResult], now: float
     ) -> float:
@@ -886,16 +932,24 @@ class JoinProcessingNode:
         order to provide the complete result" (Section 5.3) -- a result
         pair discovered here whose other member originated elsewhere costs
         one RESULT message to that origin.  Purely local pairs are
-        consumed in place.  Duplicate and spurious discoveries transmit
-        nothing.
+        consumed in place.
+
+        Deduplication is strictly node-local: a real site cannot know
+        what its peers already reported (or what the ground truth is), so
+        it suppresses only pairs *it* shipped before and pays the wire
+        cost for cross-site duplicates and spurious matches -- the query
+        consumer deduplicates, as the paper's result-collection model
+        assumes.  Accuracy classification happens at collect-time replay
+        against the oracle, never here.
         """
+        if results:
+            self._log_op(runtime, now, "report", tuple(results))
         pause = 0.0
         for result in results:
-            is_new = runtime.collector.record(
-                result, now, is_true=runtime.oracle.validate(result)
-            )
-            if not is_new:
+            pair = result.pair_id
+            if pair in runtime.seen_pairs:
                 continue
+            runtime.seen_pairs.add(pair)
             remote_origin = None
             if result.r_tuple.origin_node != self.node_id:
                 remote_origin = result.r_tuple.origin_node

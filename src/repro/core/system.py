@@ -24,7 +24,7 @@ from repro.core.policies import PolicyContext, make_policy, make_shared_state
 from repro.core.results import RunResult
 from repro.errors import ConfigurationError
 from repro.join.ground_truth import GroundTruthOracle
-from repro.metrics.accounting import ResultCollector
+from repro.metrics.accounting import ResultCollector, replay_accounting
 from repro.net.faults import FaultInjector
 from repro.net.reliable import ReliableTransport
 from repro.net.simulator import EventScheduler
@@ -109,6 +109,7 @@ class DistributedJoinSystem:
                 config.telemetry, clock=lambda: self.scheduler.now
             )
             self.scheduler.telemetry = self.telemetry
+            self.telemetry.order_source = lambda: self.scheduler.current_key
             self.telemetry.add_sampler(self._sample_telemetry)
             if config.telemetry.dashboard:
                 from repro.telemetry import AsciiDashboard
@@ -128,6 +129,11 @@ class DistributedJoinSystem:
             rng=self._network_rng,
             fault_injector=self.fault_injector,
         )
+        # Keyed per-link RNG streams + entity-ranked arrival keys: a
+        # link's randomness and event ordering become pure functions of
+        # its endpoints, independent of first-use order (and therefore of
+        # execution engine).
+        self.network.prepare(config.num_nodes)
         if self.telemetry is not None:
             self.network.telemetry = self.telemetry
             # The registry-backed trace view: hub owns the ring, the
@@ -313,11 +319,15 @@ class DistributedJoinSystem:
                 node = self.nodes[origin]
                 if len(batch) == 1:
                     self.scheduler.schedule_at(
-                        when, lambda n=node, t=batch[0]: n.on_local_arrival(t)
+                        when,
+                        lambda n=node, t=batch[0]: n.on_local_arrival(t),
+                        home=origin,
                     )
                 else:
                     self.scheduler.schedule_at(
-                        when, lambda n=node, b=tuple(batch): n.on_local_arrivals(b)
+                        when,
+                        lambda n=node, b=tuple(batch): n.on_local_arrivals(b),
+                        home=origin,
                     )
                 index = end
             last_time = max(last_time, float(times[-1]))
@@ -344,10 +354,10 @@ class DistributedJoinSystem:
             for target in sorted(set(event.nodes)):
                 node = self.nodes[target]
                 self.scheduler.schedule_at(
-                    event.start_s, lambda n=node: n.on_crash()
+                    event.start_s, lambda n=node: n.on_crash(), home=target
                 )
                 self.scheduler.schedule_at(
-                    event.end_s, lambda n=node: n.on_restart()
+                    event.end_s, lambda n=node: n.on_restart(), home=target
                 )
 
     def _schedule_checkpoints(self) -> None:
@@ -364,7 +374,9 @@ class DistributedJoinSystem:
         for index in range(1, count + 1):
             when = index * interval
             for node in self.nodes:
-                self.scheduler.schedule_at(when, lambda n=node: n.take_checkpoint())
+                self.scheduler.schedule_at(
+                    when, lambda n=node: n.take_checkpoint(), home=node.node_id
+                )
 
     def _schedule_heartbeats(self) -> None:
         """Pre-schedule every heartbeat tick over the run's span.
@@ -384,7 +396,7 @@ class DistributedJoinSystem:
             when = index * tick
             for node in self.nodes:
                 self.scheduler.schedule_at(
-                    when, lambda n=node: n.send_heartbeats()
+                    when, lambda n=node: n.send_heartbeats(), home=node.node_id
                 )
 
     def _schedule_telemetry_sampling(self) -> None:
@@ -427,7 +439,9 @@ class DistributedJoinSystem:
         registry.gauge("repro_sched_events_processed").set(
             self.scheduler.events_processed
         )
-        registry.gauge("repro_sched_pending_events").set(self.scheduler.pending)
+        registry.gauge("repro_sched_pending_events").set(
+            self.scheduler.pending + self.network.unshipped_count()
+        )
         for node in self.nodes:
             node_id = node.node_id
             registry.gauge("repro_node_queue_depth", node=node_id).set(
@@ -466,10 +480,24 @@ class DistributedJoinSystem:
             self.scheduler.run()
         return self._collect()
 
+    def _replay_accounting(self) -> None:
+        """Apply the nodes' deferred accounting ops to oracles/collectors.
+
+        Nodes log (rather than apply) every oracle/collector mutation so
+        the accuracy numbers are a pure function of per-node histories --
+        see :func:`repro.metrics.accounting.replay_accounting`.  Replay is
+        idempotent per run because each node's log is consumed once."""
+        ops = []
+        for node in self.nodes:
+            ops.extend(node.accounting_ops)
+            node.accounting_ops = []
+        replay_accounting(ops, self.oracles, self.collectors)
+
     def _collect(self) -> RunResult:
         if self.telemetry is not None:
             # One final tick so the series capture the drained end state.
             self.telemetry.sample_tick()
+        self._replay_accounting()
         stats = self.network.stats
         merged_series: Dict[int, int] = {}
         for collector in self.collectors:

@@ -70,3 +70,44 @@ class ResultCollector:
 
     def contains(self, r_tuple_id: int, s_tuple_id: int) -> bool:
         return (r_tuple_id, s_tuple_id) in self._pairs
+
+
+def replay_accounting(ops, oracles, collectors) -> None:
+    """Apply deferred accounting operations in canonical order.
+
+    ``ops`` are the nodes' logged operations, tuples of ``(time, node,
+    seq, query_id, kind, payload)`` (see
+    :meth:`repro.core.node.JoinProcessingNode._log_op`).  They are sorted
+    by ``(time, node, seq)`` -- a total order, since ``seq`` is a
+    per-node monotone counter -- and applied to the per-query oracles and
+    collectors.  Replaying instead of mutating mid-run makes the accuracy
+    numbers a pure function of the op multiset, so any execution engine
+    that produces the same per-node histories (the sharded engine's
+    contract) produces byte-identical accounting.
+
+    Op kinds:
+
+    * ``arrival`` -- ``(item, evicted)``: a local tuple entered its
+      window, evicting ``evicted``; feeds the oracle's truth set.
+    * ``evict`` -- ``(stream, expired)``: a time-window advance expired
+      tuples between arrivals.
+    * ``report`` -- ``(results...)``: results a node discovered; the
+      collector classifies each against the oracle state *at replay
+      position*, which is exactly the oracle state at that simulated
+      moment.
+    """
+    for op in sorted(ops, key=lambda op: (op[0], op[1], op[2])):
+        time, _node, _seq, query_id, kind, payload = op
+        oracle = oracles[query_id]
+        if kind == "arrival":
+            item, evicted = payload
+            oracle.observe_arrival(item, list(evicted))
+        elif kind == "evict":
+            stream, expired = payload
+            oracle.observe_evictions(stream, list(expired))
+        elif kind == "report":
+            collector = collectors[query_id]
+            for result in payload:
+                collector.record(result, time, is_true=oracle.validate(result))
+        else:  # pragma: no cover - new op kinds must be handled explicitly
+            raise ValueError("unknown accounting op kind %r" % (kind,))

@@ -150,6 +150,10 @@ class ReliableTransport:
         """Optional :class:`repro.telemetry.TelemetryHub`; exhausted-retry
         dead letters are emitted as events when set."""
         self.telemetry_node = None
+        self.key_source = None
+        """Optional :class:`~repro.net.simulator.EventKeySource`; the
+        owning node shares its source so retransmit timers get
+        deterministic entity-local event keys (see repro.engine)."""
 
     def _channel(self, peer: int) -> ReliableChannel:
         if peer not in self._channels:
@@ -173,7 +177,12 @@ class ReliableTransport:
     ) -> None:
         deadline = timeout_s * (1.0 + self.settings.jitter_fraction * float(self.rng.random()))
         timer = self.scheduler.schedule_in(
-            deadline, lambda m=message: self._on_timeout(m)
+            deadline,
+            lambda m=message: self._on_timeout(m),
+            key=(
+                self.key_source.next_key() if self.key_source is not None else None
+            ),
+            home=self.node_id,
         )
         # Register the in-flight state *before* handing the message to the
         # wire: a zero-latency send_fn can deliver and ack synchronously.

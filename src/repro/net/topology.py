@@ -17,7 +17,7 @@ from repro._rng import ensure_rng, spawn
 from repro.errors import ConfigurationError, SimulationError
 from repro.net.link import Link, LinkSpec
 from repro.net.message import Message
-from repro.net.simulator import EventScheduler
+from repro.net.simulator import EventKeySource, EventScheduler
 from repro.net.stats import TrafficStats
 
 
@@ -57,6 +57,30 @@ class Network:
         """Optional :class:`repro.telemetry.TelemetryHub`; assign to enable
         per-message metrics and send/deliver/drop events."""
 
+        self._num_nodes: Optional[int] = None
+        self._link_rngs: Dict[Tuple[int, int], np.random.Generator] = {}
+
+    def prepare(self, num_nodes: int) -> None:
+        """Pre-spawn every directed link's RNG and fix the key-rank space.
+
+        Without this, each lazily-created link spawned the *next* child of
+        the network generator, so a link's jitter/loss stream depended on
+        the global order in which links first carried traffic.  Keying the
+        children by ``(source, destination)`` up front makes every link's
+        stream a pure function of its endpoints -- a placement-invariant
+        property the sharded engine requires (each shard creates only the
+        links its nodes touch, in its own order) and a determinism
+        improvement in its own right.  The system calls this once at
+        construction; bare test networks keep the legacy lazy spawn.
+        """
+        self._num_nodes = num_nodes
+        children = spawn(self._rng, num_nodes * num_nodes)
+        for source in range(num_nodes):
+            for destination in range(num_nodes):
+                self._link_rngs[(source, destination)] = children[
+                    source * num_nodes + destination
+                ]
+
     @property
     def scheduler(self) -> EventScheduler:
         return self._scheduler
@@ -85,16 +109,29 @@ class Network:
                     "link %d->%d references unregistered endpoint" % key
                 )
             endpoint = self._endpoints[destination]
-            self._links[key] = Link(
+            rng = self._link_rngs.pop(key, None)
+            if rng is None:
+                if self._num_nodes is not None:
+                    raise SimulationError(
+                        "link %d->%d outside the prepared %d-node mesh"
+                        % (source, destination, self._num_nodes)
+                    )
+                rng = spawn(self._rng, 1)[0]
+            link = Link(
                 self._scheduler,
                 self._spec,
                 deliver=endpoint.on_message,
-                rng=spawn(self._rng, 1)[0],
+                rng=rng,
                 endpoints=key,
                 fault_injector=self.fault_injector,
                 on_drop=self._record_loss,
                 on_deliver=self._record_delivery,
             )
+            if self._num_nodes is not None:
+                link.key_source = EventKeySource(
+                    self._num_nodes + source * self._num_nodes + destination
+                )
+            self._links[key] = link
         return self._links[key]
 
     def _record_loss(self, message: Message) -> None:
@@ -151,6 +188,16 @@ class Network:
             )
             for pair, link in self._links.items()
         }
+
+    def unshipped_count(self) -> int:
+        """Scheduled deliveries not yet in any event queue.
+
+        Always 0 on the serial network; the sharded engine's network
+        wrapper reports its outbound-round buffer so the pending-events
+        gauge stays byte-identical between engines (a cross-shard message
+        is one future event whether it sits in a heap or an outbox).
+        """
+        return 0
 
     def backlog_seconds(self, source: int, destination: int) -> float:
         """Current serialization backlog on the given directed link."""

@@ -25,7 +25,7 @@ RELIABLE = ReliabilitySettings(enabled=True)
 # kind -> (plan spec, counters that must be nonzero for that fault class)
 FAULT_CASES = {
     "loss_burst": (
-        "loss@t=3,d=4,p=0.5",
+        "loss@t=3,d=5,p=0.6",
         # Random drops leave summaries stale -> forced broadcasts; the
         # drops themselves surface as blocked messages.
         ["faults:messages_blocked", "reliability:forced_broadcast_sends"],

@@ -48,7 +48,7 @@ def test_base_is_near_exact_with_landmark_windows():
     majority of the exact result."""
     result = run_experiment(landmark_config())
     assert result.truth_pairs > 0
-    assert result.epsilon < 0.08
+    assert result.epsilon < 0.12
 
 
 @pytest.mark.parametrize("algorithm", [Algorithm.DFT, Algorithm.DFTT, Algorithm.BLOOM])

@@ -125,16 +125,16 @@ class TestPinnedSeededRun:
     def test_traffic_matrices(self, run):
         system, _ = run
         expected_messages = np.array(
-            [[0, 248, 271], [239, 0, 242], [296, 297, 0]]
+            [[0, 269, 307], [258, 0, 264], [331, 311, 0]]
         )
         assert (message_matrix(system.network) == expected_messages).all()
         expected_bytes = np.array(
-            [[0, 20356, 22012], [19388, 0, 19604], [24452, 24224, 0]]
+            [[0, 21868, 24604], [20756, 0, 21188], [26972, 25532, 0]]
         )
         assert (byte_matrix(system.network) == expected_bytes).all()
         assert top_talkers(system.network, count=2) == [
-            (2, 0, 296, 24452),
-            (2, 1, 297, 24224),
+            (2, 0, 331, 26972),
+            (2, 1, 311, 25532),
         ]
 
     def test_load_balance(self, run):
@@ -145,16 +145,16 @@ class TestPinnedSeededRun:
         assert report.jain_index == pytest.approx(0.9958763342898664)
         assert report.imbalance == pytest.approx(325.0 / 300.0)
         busy = load_balance_report(result, metric="busy_seconds")
-        assert busy.per_node[2] == pytest.approx(4.4174055555, rel=1e-9)
-        assert busy.jain_index == pytest.approx(0.9916919626686528)
+        assert busy.per_node[2] == pytest.approx(4.7605722222, rel=1e-9)
+        assert busy.jain_index == pytest.approx(0.9917663427468089)
 
     def test_similarity_matrix(self, run):
         system, _ = run
         expected = np.array(
             [
                 [1.0, 0.60704241, 0.49699954],
-                [0.46234392, 1.0, 0.60151245],
-                [0.52074342, 0.52074114, 1.0],
+                [0.41155472, 1.0, 0.37680174],
+                [0.47121297, 0.44654971, 1.0],
             ]
         )
         assert np.allclose(similarity_matrix(system, StreamId.R), expected)

@@ -42,6 +42,7 @@ def test_batch_arrivals_are_ingested_and_serviced():
     assert node.policy.tuples_seen == len(batch)
     window = node.join.window(StreamId.R)
     assert sorted(t.key for t in window) == [3, 3, 7, 7, 11]
+    system._replay_accounting()
     assert node.oracle.tuples_observed == len(batch)
 
 
@@ -73,6 +74,7 @@ def test_batch_matches_produce_results():
     s = make_batch(0, [42], stream=StreamId.S, start_index=1)
     node.on_local_arrivals(r + s)
     system.scheduler.run()
+    system._replay_accounting()
     assert node.collector.reported_pairs == 1
 
 

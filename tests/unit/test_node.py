@@ -8,7 +8,7 @@ from repro.config import Algorithm, PolicyConfig, SystemConfig, WorkloadConfig
 from repro.core.node import JoinProcessingNode
 from repro.core.policies import PolicyContext, make_policy
 from repro.join.ground_truth import GroundTruthOracle
-from repro.metrics.accounting import ResultCollector
+from repro.metrics.accounting import ResultCollector, replay_accounting
 from repro.net.link import LinkSpec
 from repro.net.simulator import EventScheduler
 from repro.net.topology import Network
@@ -60,11 +60,19 @@ def make_tuple(stream, key, origin, index=0):
     return StreamTuple(stream=stream, key=key, origin_node=origin, arrival_index=index)
 
 
+def settle(nodes, oracle, collector):
+    """Replay the nodes' deferred accounting (what the system does at collect)."""
+    replay_accounting(
+        [op for node in nodes for op in node.accounting_ops], [oracle], [collector]
+    )
+
+
 def test_local_join_produces_result():
     scheduler, _, oracle, collector, nodes = build_pair()
     nodes[0].on_local_arrival(make_tuple(StreamId.R, 5, 0))
     nodes[0].on_local_arrival(make_tuple(StreamId.S, 5, 0))
     scheduler.run()
+    settle(nodes, oracle, collector)
     assert oracle.total_result_pairs == 1
     assert collector.reported_pairs == 1
 
@@ -75,6 +83,7 @@ def test_remote_join_via_forwarded_copy():
     scheduler.run()
     nodes[0].on_local_arrival(make_tuple(StreamId.R, 9, 0))
     scheduler.run()
+    settle(nodes, oracle, collector)
     # BASE forwards the R tuple to node 1 where it meets the S tuple.
     assert oracle.total_result_pairs == 1
     assert collector.reported_pairs == 1
@@ -88,6 +97,7 @@ def test_shadow_window_catches_late_arrivals():
     # S then arrives at node 1: the local probe of the shadow finds the copy.
     nodes[1].on_local_arrival(make_tuple(StreamId.S, 3, 1))
     scheduler.run()
+    settle(nodes, oracle, collector)
     assert collector.reported_pairs == 1
 
 

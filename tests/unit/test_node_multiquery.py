@@ -10,7 +10,7 @@ from repro.core.node import JoinProcessingNode
 from repro.core.policies import PolicyContext, make_policy
 from repro.errors import ConfigurationError
 from repro.join.ground_truth import GroundTruthOracle
-from repro.metrics.accounting import ResultCollector
+from repro.metrics.accounting import ResultCollector, replay_accounting
 from repro.net.link import LinkSpec
 from repro.net.message import MessageKind
 from repro.net.simulator import EventScheduler
@@ -66,6 +66,13 @@ def make_tuple(stream, key, origin, query):
     )
 
 
+def settle(nodes, oracles, collectors):
+    """Replay the nodes' deferred accounting (what the system does at collect)."""
+    replay_accounting(
+        [op for node in nodes for op in node.accounting_ops], oracles, collectors
+    )
+
+
 def test_duplicate_query_id_rejected():
     scheduler, network, oracles, collectors, nodes = build_two_node_two_query()
     with pytest.raises(ConfigurationError):
@@ -88,6 +95,7 @@ def test_same_query_joins_normally():
     nodes[0].on_local_arrival(make_tuple(StreamId.R, 5, 0, query=1))
     nodes[0].on_local_arrival(make_tuple(StreamId.S, 5, 0, query=1))
     scheduler.run()
+    settle(nodes, oracles, collectors)
     assert oracles[1].total_result_pairs == 1
     assert collectors[1].reported_pairs == 1
     assert collectors[0].reported_pairs == 0
@@ -99,6 +107,7 @@ def test_forwarded_tuples_route_to_their_query():
     scheduler.run()
     nodes[0].on_local_arrival(make_tuple(StreamId.R, 9, 0, query=1))
     scheduler.run()
+    settle(nodes, oracles, collectors)
     assert collectors[1].reported_pairs == 1
     # The copy landed in query 1's shadow windows at node 1, not query 0's.
     assert nodes[1].query(1).shadow_windows[StreamId.R]
@@ -106,20 +115,26 @@ def test_forwarded_tuples_route_to_their_query():
 
 
 def test_result_messages_emitted_for_cross_node_pairs():
-    scheduler, network, _, collectors, nodes = build_two_node_two_query()
+    scheduler, network, oracles, collectors, nodes = build_two_node_two_query()
     nodes[1].on_local_arrival(make_tuple(StreamId.S, 3, 1, query=0))
     scheduler.run()
     nodes[0].on_local_arrival(make_tuple(StreamId.R, 3, 0, query=0))
     scheduler.run()
+    settle(nodes, oracles, collectors)
     assert collectors[0].reported_pairs == 1
-    assert network.stats.messages(MessageKind.RESULT) == 1
+    # Both nodes discover the pair (each holds the other's forwarded copy)
+    # and each reports its own discovery: deduplication happens at the
+    # query consumer (the collector), not by peeking at global state.
+    assert network.stats.messages(MessageKind.RESULT) == 2
+    assert collectors[0].duplicates == 1
 
 
 def test_local_pairs_ship_no_result_message():
-    scheduler, network, _, collectors, nodes = build_two_node_two_query()
+    scheduler, network, oracles, collectors, nodes = build_two_node_two_query()
     nodes[0].on_local_arrival(make_tuple(StreamId.R, 4, 0, query=0))
     nodes[0].on_local_arrival(make_tuple(StreamId.S, 4, 0, query=0))
     scheduler.run()
+    settle(nodes, oracles, collectors)
     assert collectors[0].reported_pairs == 1
     assert network.stats.messages(MessageKind.RESULT) == 0
 
