@@ -1107,3 +1107,47 @@ class JoinProcessingNode:
             for key, value in self.recovery_machine.counters().items():
                 counters["recovery_" + key] = value
         return counters
+
+    def runtime_record(self) -> Dict[str, object]:
+        """Everything the collection pass needs from this node, as data.
+
+        The sharded engine ships one record per home node back to the
+        parent process; the serial engine builds identical records from
+        the live nodes, so ``DistributedJoinSystem._collect`` stays
+        engine-agnostic.  Consuming the record drains the accounting
+        log (replay happens exactly once per run either way).
+        """
+        record: Dict[str, object] = {
+            "node_id": self.node_id,
+            "diagnostics": self.diagnostics(),
+            "accounting_ops": self.accounting_ops,
+            "local_arrivals_dropped": self.local_arrivals_dropped,
+            "transport": (
+                self.transport.counters() if self.transport is not None else None
+            ),
+            "health": (
+                self.health.counters() if self.health is not None else None
+            ),
+            "forced_broadcast_sends": self.forced_broadcast_sends,
+            "suppressed_sends": self.suppressed_sends,
+            "resyncs": self.resyncs,
+            "restarts": self.restarts,
+            "checkpoints_taken": self.checkpoints_taken,
+            "checkpoint_bytes": self.checkpoint_bytes,
+            "tuples_logged": self.tuples_logged,
+            "tuples_replayed": self.tuples_replayed,
+            "replay_dropped": self.replay_dropped,
+            "state_transfer_bytes": self.state_transfer_bytes,
+            "rejoin_latencies": (
+                list(self.recovery_machine.rejoin_latencies)
+                if self.recovery_machine is not None
+                else None
+            ),
+            "recovery_triggers": (
+                [trigger for _, trigger, _ in self.recovery_machine.history]
+                if self.recovery_machine is not None
+                else None
+            ),
+        }
+        self.accounting_ops = []
+        return record

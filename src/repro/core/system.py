@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import itertools
 import math
-from typing import Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional
 
 import numpy as np
 
@@ -79,13 +79,27 @@ def build_key_stream(workload: WorkloadConfig, rng: np.random.Generator) -> Iter
 class DistributedJoinSystem:
     """End-to-end assembly and execution of one experiment run."""
 
-    def __init__(self, config: SystemConfig, profiler=None) -> None:
+    def __init__(self, config: SystemConfig, profiler=None, shards=None) -> None:
         config.validate()
         reset_tuple_ids()
         self.config = config
         self.profiler = profiler
         """Optional :class:`~repro.profiling.KernelProfiler`; threaded
         into every node's service loop and snapshot into the result."""
+        from repro.engine import make_engine
+
+        self.engine = make_engine(shards, config)
+        """The :class:`~repro.engine.ExecutionEngine` driving :meth:`run`:
+        the serial reference scheduler by default, the sharded
+        multi-process engine when ``shards`` resolves to >= 2."""
+        self._node_records = None
+        """Per-node collection records (see
+        :meth:`~repro.core.node.JoinProcessingNode.runtime_record`).
+        ``None`` until collection; the sharded engine pre-fills it from
+        worker fragments, the serial path builds it from live nodes."""
+        self._home_filter: Optional[Callable[[int], bool]] = None
+        """Sharded-worker node ownership test for the telemetry sampler;
+        ``None`` (serial) samples everything."""
         root_rng = ensure_rng(config.seed)
         (
             self._workload_rng,
@@ -440,10 +454,17 @@ class DistributedJoinSystem:
             self.scheduler.events_processed
         )
         registry.gauge("repro_sched_pending_events").set(
-            self.scheduler.pending + self.network.unshipped_count()
+            self.scheduler.pending_accountable() + self.network.unshipped_count()
         )
+        # Under sharding each worker samples only its home nodes and the
+        # links they transmit on; every (instrument, label) key then lives
+        # on exactly one shard and the merged series reproduce the serial
+        # ones exactly (replicated construction-time link state would
+        # otherwise be counted once per shard).
         for node in self.nodes:
             node_id = node.node_id
+            if self._home_filter is not None and not self._home_filter(node_id):
+                continue
             registry.gauge("repro_node_queue_depth", node=node_id).set(
                 node.queue_depth
             )
@@ -461,6 +482,8 @@ class DistributedJoinSystem:
         for name, labels, value in self.network.stats.iter_counters():
             registry.counter(name, **labels).value = value
         for (source, destination), link in self.network.iter_links():
+            if self._home_filter is not None and not self._home_filter(source):
+                continue
             registry.gauge(
                 "repro_link_backlog_seconds", src=source, dst=destination
             ).set(link.queue_depth_seconds())
@@ -470,15 +493,24 @@ class DistributedJoinSystem:
     # ------------------------------------------------------------------
 
     def run(self) -> RunResult:
-        """Schedule (if needed), drain the event loop, aggregate metrics."""
-        if self._tuples_scheduled == 0:
-            self.schedule_workload()
+        """Execute via the configured engine, then aggregate metrics."""
         if self.profiler is not None:
             with self.profiler.section("system.run"):
-                self.scheduler.run()
+                self.engine.execute(self)
         else:
-            self.scheduler.run()
+            self.engine.execute(self)
         return self._collect()
+
+    def _runtime_records(self) -> List[Dict[str, object]]:
+        """The per-node collection records, built once.
+
+        The sharded engine pre-fills :attr:`_node_records` from worker
+        fragments (ordered by node id, so float reductions sum in serial
+        order); the serial path snapshots the live nodes on first use.
+        """
+        if self._node_records is None:
+            self._node_records = [node.runtime_record() for node in self.nodes]
+        return self._node_records
 
     def _replay_accounting(self) -> None:
         """Apply the nodes' deferred accounting ops to oracles/collectors.
@@ -486,17 +518,20 @@ class DistributedJoinSystem:
         Nodes log (rather than apply) every oracle/collector mutation so
         the accuracy numbers are a pure function of per-node histories --
         see :func:`repro.metrics.accounting.replay_accounting`.  Replay is
-        idempotent per run because each node's log is consumed once."""
+        idempotent per run because each record's log is consumed once."""
         ops = []
-        for node in self.nodes:
-            ops.extend(node.accounting_ops)
-            node.accounting_ops = []
+        for record in self._runtime_records():
+            ops.extend(record["accounting_ops"])
+            record["accounting_ops"] = []
         replay_accounting(ops, self.oracles, self.collectors)
 
     def _collect(self) -> RunResult:
         if self.telemetry is not None:
             # One final tick so the series capture the drained end state.
+            # (After a sharded run the workers already ticked at the
+            # global end time, so this deduplicates to a no-op.)
             self.telemetry.sample_tick()
+        records = self._runtime_records()
         self._replay_accounting()
         stats = self.network.stats
         merged_series: Dict[int, int] = {}
@@ -527,10 +562,10 @@ class DistributedJoinSystem:
             merged_latency.merge(collector.latency)
         reliability: Dict[str, float] = {}
         if self.config.reliability.enabled:
-            for node in self.nodes:
-                for key, value in node.transport.counters().items():
+            for record in records:
+                for key, value in record["transport"].items():
                     reliability[key] = reliability.get(key, 0.0) + value
-                for key, value in node.health.counters().items():
+                for key, value in record["health"].items():
                     if key.endswith("_max_s"):
                         reliability[key] = max(reliability.get(key, 0.0), value)
                     elif key.endswith("_mean_s"):
@@ -542,12 +577,15 @@ class DistributedJoinSystem:
                         reliability[key] = reliability.get(key, 0.0) + value
                 reliability["forced_broadcast_sends"] = (
                     reliability.get("forced_broadcast_sends", 0.0)
-                    + node.forced_broadcast_sends
+                    + record["forced_broadcast_sends"]
                 )
                 reliability["suppressed_sends"] = (
-                    reliability.get("suppressed_sends", 0.0) + node.suppressed_sends
+                    reliability.get("suppressed_sends", 0.0)
+                    + record["suppressed_sends"]
                 )
-                reliability["resyncs"] = reliability.get("resyncs", 0.0) + node.resyncs
+                reliability["resyncs"] = (
+                    reliability.get("resyncs", 0.0) + record["resyncs"]
+                )
             samples = reliability.pop("_mean_samples", 0.0)
             if samples and "recovery_latency_mean_s" in reliability:
                 reliability["recovery_latency_mean_s"] /= samples
@@ -555,13 +593,20 @@ class DistributedJoinSystem:
         if self.fault_injector is not None:
             faults = self.fault_injector.summary()
             faults["local_arrivals_dropped"] = float(
-                sum(node.local_arrivals_dropped for node in self.nodes)
+                sum(record["local_arrivals_dropped"] for record in records)
             )
         recovery: Dict[str, float] = {}
         if self.checkpoint_store is not None:
+            # Store totals equal the per-node counter sums (every save
+            # goes through node.take_checkpoint), and the records survive
+            # a sharded run where the parent store never saved anything.
             recovery = {
-                "checkpoints_taken": float(self.checkpoint_store.checkpoints_taken),
-                "checkpoint_bytes": float(self.checkpoint_store.bytes_written),
+                "checkpoints_taken": float(
+                    sum(record["checkpoints_taken"] for record in records)
+                ),
+                "checkpoint_bytes": float(
+                    sum(record["checkpoint_bytes"] for record in records)
+                ),
             }
             for key in (
                 "restarts",
@@ -570,15 +615,14 @@ class DistributedJoinSystem:
                 "replay_dropped",
                 "state_transfer_bytes",
             ):
-                recovery[key] = float(sum(getattr(n, key) for n in self.nodes))
+                recovery[key] = float(sum(record[key] for record in records))
             rejoin_latencies: List[float] = []
             clean = degraded = 0
-            for node in self.nodes:
-                machine = node.recovery_machine
-                if machine is None:
+            for record in records:
+                if record["rejoin_latencies"] is None:
                     continue
-                rejoin_latencies.extend(machine.rejoin_latencies)
-                for _, trigger, _ in machine.history:
+                rejoin_latencies.extend(record["rejoin_latencies"])
+                for trigger in record["recovery_triggers"]:
                     if trigger == "synced":
                         clean += 1
                     elif trigger == "timeout":
@@ -603,7 +647,7 @@ class DistributedJoinSystem:
             traffic=stats.as_dict(),
             messages_by_kind=dict(stats.messages_by_kind),
             node_diagnostics={
-                node.node_id: node.diagnostics() for node in self.nodes
+                record["node_id"]: record["diagnostics"] for record in records
             },
             throughput_series=series,
             sustained_throughput=sustained,
@@ -618,6 +662,6 @@ class DistributedJoinSystem:
         )
 
 
-def run_experiment(config: SystemConfig, profiler=None) -> RunResult:
+def run_experiment(config: SystemConfig, profiler=None, shards=None) -> RunResult:
     """One-call convenience: build, run, and return the result."""
-    return DistributedJoinSystem(config, profiler=profiler).run()
+    return DistributedJoinSystem(config, profiler=profiler, shards=shards).run()

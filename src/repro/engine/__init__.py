@@ -1,0 +1,23 @@
+"""Execution engines (see :mod:`repro.engine.base`).
+
+``SerialEngine`` is the default and the reference oracle;
+``ShardedEngine`` partitions one simulation's nodes across worker
+processes under conservative time synchronization and must reproduce
+the serial results byte for byte.
+"""
+
+from repro.engine.base import (
+    ExecutionEngine,
+    SerialEngine,
+    make_engine,
+    resolve_shards,
+)
+from repro.engine.sharded import ShardedEngine
+
+__all__ = [
+    "ExecutionEngine",
+    "SerialEngine",
+    "ShardedEngine",
+    "make_engine",
+    "resolve_shards",
+]

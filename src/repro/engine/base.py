@@ -1,0 +1,78 @@
+"""Execution engines: the strategy that drives one simulation.
+
+:class:`~repro.core.system.DistributedJoinSystem` assembles state and
+aggregates results; *how* the event population is drained is the
+engine's job.  :class:`SerialEngine` is the reference implementation --
+one process, one scheduler, run to empty.  The sharded engine
+(:mod:`repro.engine.sharded`) partitions the simulated nodes across
+worker processes and synchronizes them conservatively; its contract is
+that the resulting :class:`~repro.core.results.RunResult` and telemetry
+exports are byte-identical to the serial engine's.
+
+``shards`` resolution mirrors the experiment runner's ``--jobs``: an
+explicit positive value wins, else the ``REPRO_SHARDS`` environment
+variable, else 1 (serial -- the default never touches multiprocessing,
+so existing callers are bit-for-bit unaffected).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import ConfigurationError
+
+
+class ExecutionEngine:
+    """Strategy interface: advance ``system`` to the drained end state.
+
+    ``execute`` must leave the system ready for
+    ``DistributedJoinSystem._collect``: workload scheduled, scheduler
+    clocks at the final times, accounting either on the live nodes
+    (serial) or pre-merged into ``system._node_records`` (sharded).
+    """
+
+    name = "abstract"
+
+    def execute(self, system) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class SerialEngine(ExecutionEngine):
+    """The reference engine: drain one scheduler in-process."""
+
+    name = "serial"
+
+    def execute(self, system) -> None:
+        if system._tuples_scheduled == 0:
+            system.schedule_workload()
+        system.scheduler.run()
+
+
+def resolve_shards(shards=0) -> int:
+    """Shard count: explicit ``shards`` > ``REPRO_SHARDS`` > 1 (serial)."""
+    if shards is None:
+        shards = 0
+    if shards < 0:
+        raise ConfigurationError("shards must be positive, got %d" % shards)
+    if shards:
+        return shards
+    raw = os.environ.get("REPRO_SHARDS", "").strip()
+    if not raw:
+        return 1
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError("REPRO_SHARDS must be an integer, got %r" % raw)
+    if value < 1:
+        raise ConfigurationError("REPRO_SHARDS must be >= 1, got %d" % value)
+    return value
+
+
+def make_engine(shards, config) -> ExecutionEngine:
+    """Build the engine for ``shards`` (resolved) under ``config``."""
+    count = resolve_shards(shards)
+    if count <= 1:
+        return SerialEngine()
+    from repro.engine.sharded import ShardedEngine
+
+    return ShardedEngine(count, config)

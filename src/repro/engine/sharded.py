@@ -1,0 +1,294 @@
+"""The sharded execution engine: one simulation across processes.
+
+The coordinator partitions the simulated nodes of a *single* run across
+``shards`` worker processes (spawn context) and advances them in
+conservative Chandy-Misra/Bryant-style rounds:
+
+* **Lookahead.**  Every message takes at least ``latency_min_s`` from
+  send to arrival (propagation is sampled from ``[latency_min_s,
+  latency_max_s]`` and serialization only adds delay), so an event
+  executed in ``[G, G + H)`` with ``H = latency_min_s`` can only
+  schedule cross-shard work at ``>= G + H``.  A zero lookahead would
+  force zero-width rounds; the engine refuses to run that way.
+* **Rounds.**  Each round, the coordinator computes the global horizon
+  ``G`` (minimum of every shard's next event time and every in-flight
+  arrival), delivers all collected cross-shard messages, and lets every
+  shard run its window ``[G, G + H)`` in parallel.  No shard ever
+  processes past a peer's unposted horizon, so every cross-shard
+  arrival is enqueued before any local event that could race it.
+* **Determinism.**  Cross-shard messages travel as ``(arrival_time,
+  event key, link, payload)``; the key was minted by the sending link's
+  entity-local :class:`~repro.net.simulator.EventKeySource`, so the
+  destination scheduler orders the arrival exactly where the serial
+  scheduler would.  Merged with the replicated-construction / pruning
+  scheme in :mod:`repro.engine.worker` and the exact (Fraction-based)
+  metric merges below, the result is byte-identical to serial: same
+  stats, same telemetry export, same RNG consumption per node.
+
+The serial engine remains the reference oracle; the integration suite
+pins ``serial == --shards 2 == --shards 4`` for every algorithm.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections import Counter, deque
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.engine.base import ExecutionEngine
+from repro.engine.worker import shard_worker
+from repro.net.stats import TrafficStats
+
+
+class ShardedEngine(ExecutionEngine):
+    """Drive one run across ``shards`` worker processes."""
+
+    name = "sharded"
+
+    def __init__(self, shards: int, config) -> None:
+        if shards < 2:
+            raise ConfigurationError(
+                "sharded execution needs >= 2 shards, got %d" % shards
+            )
+        if shards > config.num_nodes:
+            raise ConfigurationError(
+                "cannot split %d nodes across %d shards; at most one "
+                "shard per node" % (config.num_nodes, shards)
+            )
+        if config.link.latency_min_s <= 0:
+            raise ConfigurationError(
+                "sharded execution needs conservative lookahead: "
+                "link.latency_min_s must be positive"
+            )
+        if config.telemetry.dashboard:
+            raise ConfigurationError(
+                "the live dashboard reads one process's state; "
+                "use the serial engine (shards=1) with --dashboard"
+            )
+        self.shards = shards
+        self.rounds = 0
+        """Synchronization rounds of the last :meth:`execute` (visible
+        in the engine docs' when-does-sharding-pay-off discussion)."""
+
+    # -- process control ----------------------------------------------
+
+    @staticmethod
+    def _repro_env() -> Dict[str, str]:
+        return {
+            key: value
+            for key, value in os.environ.items()
+            if key.startswith("REPRO_")
+        }
+
+    def _recv(self, conn, expect: str):
+        message = conn.recv()
+        tag = message[0]
+        if tag == "error":
+            raise SimulationError(
+                "shard worker failed:\n%s" % message[1]
+            )
+        if tag != expect:
+            raise SimulationError(
+                "shard protocol error: expected %r, got %r" % (expect, tag)
+            )
+        return message[1:]
+
+    def execute(self, system) -> None:
+        config = system.config
+        lookahead = config.link.latency_min_s
+        context = multiprocessing.get_context("spawn")
+        profile = system.profiler is not None
+        env = self._repro_env()
+        workers = []
+        conns = []
+        try:
+            for shard in range(self.shards):
+                parent_conn, child_conn = context.Pipe()
+                process = context.Process(
+                    target=shard_worker,
+                    args=(child_conn, config, shard, self.shards, env, profile),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                workers.append(process)
+                conns.append(parent_conn)
+            next_times: List[Optional[float]] = []
+            nows = [0.0] * self.shards
+            material_nows = [0.0] * self.shards
+            arrival_span = 0.0
+            for conn in conns:
+                next_time, span = self._recv(conn, "ready")
+                next_times.append(next_time)
+                arrival_span = span
+            inflight: List[list] = [[] for _ in range(self.shards)]
+            self.rounds = 0
+            while True:
+                horizon = [t for t in next_times if t is not None]
+                horizon.extend(
+                    item[0] for shard_box in inflight for item in shard_box
+                )
+                if not horizon:
+                    break
+                until = min(horizon) + lookahead
+                for shard, conn in enumerate(conns):
+                    conn.send(("round", (until, inflight[shard])))
+                    inflight[shard] = []
+                for shard, conn in enumerate(conns):
+                    outbox, next_time, material_now, now = self._recv(
+                        conn, "done"
+                    )
+                    next_times[shard] = next_time
+                    material_nows[shard] = material_now
+                    nows[shard] = now
+                    for item in outbox:
+                        destination = item[2][1]
+                        inflight[destination % self.shards].append(item)
+                self.rounds += 1
+            t_final = max(nows)
+            for conn in conns:
+                conn.send(("finish", t_final))
+            fragments = []
+            for shard, conn in enumerate(conns):
+                (fragment,) = self._recv(conn, "fragment")
+                fragment["shard"] = shard
+                fragments.append(fragment)
+            for process in workers:
+                process.join(timeout=30)
+        finally:
+            for conn in conns:
+                conn.close()
+            for process in workers:
+                if process.is_alive():  # pragma: no cover - crash path
+                    process.terminate()
+                    process.join()
+        self._merge(system, fragments, arrival_span, t_final)
+
+    # -- merging -------------------------------------------------------
+
+    def _merge(self, system, fragments, arrival_span, t_final) -> None:
+        """Fold worker fragments into the parent's collection state.
+
+        The parent never ran the workload, but it *did* run replicated
+        construction; that accounting is wiped first because shard 0's
+        fragment carries the identical data.  Per-node records are
+        ordered by node id so every float reduction in ``_collect``
+        sums in serial order.
+        """
+        scheduler = system.scheduler
+        network = system.network
+        network.stats = TrafficStats()
+        for node_id in network.per_sender_stats:
+            network.per_sender_stats[node_id] = TrafficStats()
+        for _, link in network.iter_links():
+            link.messages_sent = 0
+            link.messages_lost = 0
+            link.bytes_sent = 0
+            link.bytes_lost = 0
+        kind_order: Dict[str, tuple] = {}
+        loss_order: Dict[str, tuple] = {}
+        for fragment in fragments:
+            network.stats.merge(fragment["stats"])
+            for orders, fragment_key in (
+                (kind_order, "kind_order"),
+                (loss_order, "loss_order"),
+            ):
+                for kind, rank in fragment[fragment_key].items():
+                    if kind not in orders or rank < orders[kind]:
+                        orders[kind] = rank
+            for node_id, sender_stats in fragment["per_sender"].items():
+                network.per_sender_stats[node_id].merge(sender_stats)
+            for pair, counters in fragment["link_stats"].items():
+                link = network.link(*pair)
+                link.messages_sent += counters[0]
+                link.bytes_sent += counters[1]
+                link.messages_lost += counters[2]
+                link.bytes_lost += counters[3]
+        # Counter key order is first-occurrence order and reported dicts
+        # (messages_by_kind) preserve it; rebuild serial's chronology.
+        stats = network.stats
+        stats.messages_by_kind = Counter(
+            {
+                kind: stats.messages_by_kind[kind]
+                for kind in sorted(stats.messages_by_kind, key=kind_order.get)
+            }
+        )
+        stats.bytes_by_kind = Counter(
+            {
+                kind: stats.bytes_by_kind[kind]
+                for kind in sorted(stats.bytes_by_kind, key=kind_order.get)
+            }
+        )
+        stats.lost_by_kind = Counter(
+            {
+                kind: stats.lost_by_kind[kind]
+                for kind in sorted(stats.lost_by_kind, key=loss_order.get)
+            }
+        )
+        records = [
+            record
+            for fragment in fragments
+            for record in fragment["records"]
+        ]
+        records.sort(key=lambda record: record["node_id"])
+        system._node_records = records
+        system._arrival_span = arrival_span
+        system._tuples_scheduled = system.config.workload.total_tuples
+        scheduler._now = t_final
+        scheduler._material_now = max(
+            fragment["material_now"] for fragment in fragments
+        )
+        scheduler._events_processed = sum(
+            fragment["events_processed"] for fragment in fragments
+        )
+        if system.fault_injector is not None:
+            injector = system.fault_injector
+            injector.messages_blocked = sum(
+                fragment["faults"]["messages_blocked"] for fragment in fragments
+            )
+            injector.activations = dict(fragments[0]["faults"]["activations"])
+            injector.timeline = list(fragments[0]["faults"]["timeline"])
+        if system.profiler is not None:
+            for fragment in fragments:
+                if fragment["profiler"] is not None:
+                    system.profiler.merge(fragment["profiler"])
+        if system.telemetry is not None:
+            self._merge_telemetry(
+                system.telemetry,
+                [fragment["telemetry"] for fragment in fragments],
+                t_final,
+            )
+
+    def _merge_telemetry(self, hub, shard_hubs, t_final) -> None:
+        """Reconstruct the serial hub from the shard hubs.
+
+        Registries merge exactly (see ``MetricRegistry.merge_shard``).
+        The event ring is the union of shard rings sorted by the causal
+        order stamp: each scheduler event executed on exactly one shard
+        and replicated global events emit nothing, so stamps are unique,
+        and a shard that retained an event retained everything after it
+        on that shard -- the union is a superset of serial's retained
+        window, trimmed back to capacity here.  Sequence numbers are
+        rewritten to the global emission indices serial would have
+        assigned.
+        """
+        registry = shard_hubs[0]["registry"]
+        for shard_hub in shard_hubs[1:]:
+            registry.merge_shard(shard_hub["registry"])
+        hub.registry = registry
+        events = [
+            event for shard_hub in shard_hubs for event in shard_hub["events"]
+        ]
+        events.sort(key=lambda event: event.order)
+        total = sum(shard_hub["events_emitted"] for shard_hub in shard_hubs)
+        capacity = hub.settings.event_capacity
+        kept = events[-capacity:]
+        base = total - len(kept)
+        for index, event in enumerate(kept):
+            event.seq = base + index
+        hub._events = deque(kept, maxlen=capacity)
+        hub._sequence = total
+        hub.events_emitted = total
+        hub._last_sample_time = t_final

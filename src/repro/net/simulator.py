@@ -135,6 +135,10 @@ class EventScheduler:
         """Sort key of the currently executing event (``None`` outside the
         loop).  Telemetry stamps emissions with it to define a canonical
         cross-shard event order."""
+        self._home_filtered = False
+        """Set by :meth:`retain_events`: the queue was pruned to a home
+        subset, so :meth:`pending_accountable` must filter rather than
+        shortcut to :attr:`pending`."""
 
     @property
     def now(self) -> float:
@@ -160,6 +164,24 @@ class EventScheduler:
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""
         return len(self._queue) - self._cancelled_pending
+
+    def pending_accountable(self) -> int:
+        """Live queued events this scheduler is *accountable* for.
+
+        Serial: identical to :attr:`pending`.  Sharded workers: home
+        events plus -- on the one shard with ``count_global_events`` --
+        the replicated run-global events, mirroring how
+        :attr:`events_processed` counts.  Summing the value across
+        shards therefore reproduces the serial pending count exactly.
+        """
+        if not self._home_filtered:
+            return self.pending
+        return sum(
+            1
+            for event in self._queue
+            if not event.cancelled
+            and (event.home is not None or self.count_global_events)
+        )
 
     def _note_cancelled(self) -> None:
         self._cancelled_pending += 1
@@ -275,6 +297,7 @@ class EventScheduler:
         ]
         heapq.heapify(self._queue)
         self._cancelled_pending = 0
+        self._home_filtered = True
         return before - len(self._queue)
 
     def next_event_time(self) -> Optional[float]:

@@ -60,6 +60,25 @@ class Network:
         self._num_nodes: Optional[int] = None
         self._link_rngs: Dict[Tuple[int, int], np.random.Generator] = {}
 
+        self.link_router_factory: Optional[
+            Callable[[int, int], Optional[Callable[..., bool]]]
+        ] = None
+        """Optional ``(source, destination) -> router`` hook consulted for
+        every link (existing and lazily created).  The sharded engine
+        installs one that diverts arrivals bound for off-shard nodes into
+        the round outbox; ``None`` for a pair means deliver locally."""
+        self._shard_outbox: Optional[list] = None
+        """The sharded engine's outbound buffer for the current round;
+        ``None`` on the serial network."""
+        self.kind_order: Dict[str, tuple] = {}
+        """Each message kind's first-send rank ``(event key, send seq)``.
+        Counter key order is first-occurrence order, and it shows in
+        reported dicts (``messages_by_kind``); the sharded merge uses
+        these globally comparable ranks to rebuild serial's order."""
+        self.loss_order: Dict[str, tuple] = {}
+        """First-loss ranks, same scheme, for ``lost_by_kind``."""
+        self._send_seq = 0
+
     def prepare(self, num_nodes: int) -> None:
         """Pre-spawn every directed link's RNG and fix the key-rank space.
 
@@ -131,10 +150,27 @@ class Network:
                 link.key_source = EventKeySource(
                     self._num_nodes + source * self._num_nodes + destination
                 )
+            if self.link_router_factory is not None:
+                link.router = self.link_router_factory(source, destination)
             self._links[key] = link
         return self._links[key]
 
+    _PRE_RUN_KEY = (float("-inf"), -1, -1, -1)
+    """Rank for sends outside event execution (construction time), which
+    precede every scheduled event.  Construction replays identically on
+    every shard, so the shard-local sequence number is a valid tiebreak."""
+
+    def _first_seen(self, orders: Dict[str, tuple], kind: str) -> None:
+        if kind not in orders:
+            key = self._scheduler.current_key
+            orders[kind] = (
+                key if key is not None else self._PRE_RUN_KEY,
+                self._send_seq,
+            )
+        self._send_seq += 1
+
     def _record_loss(self, message: Message) -> None:
+        self._first_seen(self.loss_order, message.kind.value)
         self.stats.record_loss(message)
         sender_stats = self.per_sender_stats.get(message.source)
         if sender_stats is not None:
@@ -156,6 +192,7 @@ class Network:
             raise SimulationError("a node does not message itself")
         link = self.link(message.source, message.destination)
         arrival = link.send(message)
+        self._first_seen(self.kind_order, message.kind.value)
         self.stats.record(message)
         self.per_sender_stats[message.source].record(message)
         if self.trace is not None:
@@ -197,6 +234,8 @@ class Network:
         gauge stays byte-identical between engines (a cross-shard message
         is one future event whether it sits in a heap or an outbox).
         """
+        if self._shard_outbox is not None:
+            return len(self._shard_outbox)
         return 0
 
     def backlog_seconds(self, source: int, destination: int) -> float:

@@ -37,6 +37,7 @@ from repro.parallel.pool import (
     execute_cell,
     map_tasks,
     reset_simulation_counter,
+    clamp_jobs,
     resolve_jobs,
     run_configs,
     run_many,
@@ -57,6 +58,7 @@ __all__ = [
     "map_tasks",
     "reset_simulation_counter",
     "resolve_cache",
+    "clamp_jobs",
     "resolve_jobs",
     "run_configs",
     "run_many",
