@@ -13,13 +13,49 @@ from __future__ import annotations
 import sys
 from typing import Dict, List, Optional, TextIO, Tuple
 
+from repro.telemetry.registry import format_labels
+
 BAR_WIDTH = 20
+
+SPARK_LEVELS = " .:-=+*#%@"
+"""Ten ASCII intensity steps, lowest to highest."""
+
+SPARK_WIDTH = 40
+
+SPARK_METRICS = (
+    "repro_sched_pending_events",
+    "repro_node_queue_depth",
+    "repro_link_backlog_seconds",
+)
+"""Registry series shown as sparklines, in display order."""
+
+SPARK_ROWS = 8
 
 
 def _bar(fraction: float, width: int = BAR_WIDTH) -> str:
     fraction = min(1.0, max(0.0, fraction))
     filled = int(round(fraction * width))
     return "#" * filled + "." * (width - filled)
+
+
+def sparkline(values, width: int = SPARK_WIDTH) -> str:
+    """Render the last ``width`` values as an ASCII intensity strip.
+
+    The strip is scaled to the window's own min/max (a flat series
+    renders as all-low), so it shows *shape*, not absolute magnitude --
+    the magnitude is printed alongside.
+    """
+    tail = list(values)[-width:]
+    if not tail:
+        return ""
+    low = min(tail)
+    high = max(tail)
+    if high <= low:
+        return SPARK_LEVELS[0] * len(tail)
+    scale = (len(SPARK_LEVELS) - 1) / (high - low)
+    return "".join(
+        SPARK_LEVELS[int((value - low) * scale)] for value in tail
+    )
 
 
 class AsciiDashboard:
@@ -39,9 +75,9 @@ class AsciiDashboard:
     def on_sample(self, now: float, registry) -> None:
         if self.frames_rendered and now - self._last_render < self.interval_s:
             return
-        self.render(now)
+        self.render(now, registry)
 
-    def render(self, now: float) -> None:
+    def render(self, now: float, registry=None) -> None:
         """Write one frame for simulated time ``now``."""
         elapsed = max(now - self._last_render, 1e-9)
         system = self.system
@@ -121,9 +157,43 @@ class AsciiDashboard:
                     for machine in machines
                 )
             )
+        out.extend(self._spark_section(registry))
         self.stream.write("\n".join(out) + "\n")
         self._last_render = now
         self.frames_rendered += 1
+
+    def _spark_section(self, registry) -> List[str]:
+        """Sparkline strips from the registry's already-sampled series.
+
+        No extra sampling happens here: the hub's regular ticks filled
+        each instrument's :class:`~repro.telemetry.registry.TimeSeries`,
+        and the dashboard just draws the tail of the ring.
+        """
+        if registry is None:
+            return []
+        rows: List[str] = []
+        for name in SPARK_METRICS:
+            for instrument in registry.instruments():
+                if instrument.name != name or instrument.series is None:
+                    continue
+                if len(instrument.series) < 2:
+                    continue
+                values = [value for _, value in instrument.series]
+                labels = format_labels(instrument.labels)
+                rows.append(
+                    "%-36s %10.3g |%s|"
+                    % (
+                        name.replace("repro_", "")
+                        + (("{%s}" % labels) if labels else ""),
+                        values[-1],
+                        sparkline(values),
+                    )
+                )
+                if len(rows) >= SPARK_ROWS:
+                    return ["sparklines (series tail, low->high)"] + rows
+        if not rows:
+            return []
+        return ["sparklines (series tail, low->high)"] + rows
 
     def _busiest_links(
         self, count: int

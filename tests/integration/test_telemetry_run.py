@@ -176,6 +176,8 @@ class TestDashboard:
         assert system.dashboard.frames_rendered > 1
         assert "repro dashboard" in output
         assert "traffic:" in output
+        assert "sparklines" in output
+        assert "sched_pending_events" in output
         _, dark = run_system(telemetry_config(enabled=False))
         assert result.summary() == dark.summary()
 

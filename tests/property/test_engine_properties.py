@@ -1,0 +1,133 @@
+"""Property-based tests for the sharded engine's conservative lookahead.
+
+The engine's correctness argument rests on one inequality: a message
+sent at time ``t`` over any link arrives no earlier than
+``t + latency_min_s``.  Rounds of width ``H = latency_min_s`` are then
+safe -- an event executed inside ``[G, G + H)`` can only produce
+cross-shard arrivals at ``>= G + H``, i.e. in a *later* round, so no
+shard ever misses an inbound event.  These tests pin that inequality
+across randomly drawn link specs, traffic patterns, and mesh shapes,
+and the engine's refusal to run without positive lookahead.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import Algorithm, PolicyConfig, SystemConfig, WorkloadConfig
+from repro.errors import ConfigurationError
+from repro.net.link import Link, LinkSpec
+from repro.net.message import Message, MessageKind
+from repro.net.simulator import EventScheduler
+
+link_specs = st.builds(
+    LinkSpec,
+    bandwidth_bps=st.floats(min_value=1e3, max_value=1e9),
+    latency_min_s=st.floats(min_value=1e-4, max_value=0.5),
+    latency_max_s=st.floats(min_value=0.5, max_value=2.0),
+)
+
+send_plans = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),  # send time
+        st.integers(min_value=0, max_value=64),  # piggy-backed entries
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@given(spec=link_specs, plan=send_plans, seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=60, deadline=None)
+def test_arrival_never_beats_the_lookahead(spec, plan, seed):
+    """arrival >= send + latency_min on every link, whatever the traffic.
+
+    Sampled propagation lies in [latency_min, latency_max] and both
+    serialization and FIFO backlog only add delay, so the minimum
+    latency is a true lower bound -- the lookahead the rounds rely on.
+    """
+    spec.validate()
+    scheduler = EventScheduler()
+    link = Link(
+        scheduler,
+        spec,
+        deliver=lambda message: None,
+        rng=np.random.default_rng(seed),
+    )
+    for send_time, entries in sorted(plan):
+        scheduler._now = send_time
+        message = Message(
+            kind=MessageKind.TUPLE,
+            source=0,
+            destination=1,
+            summary_entries=entries,
+        )
+        arrival = link.send(message)
+        assert arrival >= send_time + spec.latency_min_s
+
+
+@given(
+    nodes=st.integers(min_value=2, max_value=12),
+    latency_min=st.floats(min_value=1e-3, max_value=0.2),
+)
+@settings(max_examples=30, deadline=None)
+def test_round_horizon_only_admits_later_rounds(nodes, latency_min):
+    """Messages sent inside a round [G, G+H) arrive at G+H or later.
+
+    This is the cross-shard safety property stated directly on round
+    arithmetic: with H = latency_min, the coordinator's next horizon
+    G' >= G, so an arrival >= send + H >= G + H can never land inside
+    the round that produced it.
+    """
+    spec = LinkSpec(
+        latency_min_s=latency_min, latency_max_s=latency_min * 2.0
+    )
+    spec.validate()
+    scheduler = EventScheduler()
+    rng = np.random.default_rng(nodes)
+    links = [
+        Link(scheduler, spec, deliver=lambda m: None, rng=np.random.default_rng(i))
+        for i in range(nodes)
+    ]
+    horizon = 0.0
+    for _ in range(20):
+        width = latency_min
+        send_time = horizon + float(rng.uniform(0.0, width * 0.999))
+        scheduler._now = send_time
+        link = links[int(rng.integers(len(links)))]
+        arrival = link.send(
+            Message(kind=MessageKind.TUPLE, source=0, destination=1)
+        )
+        assert arrival >= horizon + width
+        horizon += width
+
+
+@given(latency_min=st.floats(max_value=0.0, allow_nan=False, min_value=-10.0))
+@settings(max_examples=20, deadline=None)
+def test_engine_refuses_nonpositive_lookahead(latency_min):
+    """Zero or negative minimum latency means zero-width rounds: rejected."""
+    from repro.engine.sharded import ShardedEngine
+
+    config = SystemConfig(
+        num_nodes=4,
+        window_size=32,
+        policy=PolicyConfig(algorithm=Algorithm.DFTT),
+        workload=WorkloadConfig(total_tuples=10),
+        link=LinkSpec(latency_min_s=latency_min, latency_max_s=1.0),
+    )
+    with pytest.raises(ConfigurationError):
+        ShardedEngine(2, config)
+
+
+def test_engine_refuses_more_shards_than_nodes():
+    config = SystemConfig(
+        num_nodes=3,
+        window_size=32,
+        policy=PolicyConfig(algorithm=Algorithm.DFTT),
+        workload=WorkloadConfig(total_tuples=10),
+    )
+    from repro.engine.sharded import ShardedEngine
+
+    with pytest.raises(ConfigurationError):
+        ShardedEngine(4, config)

@@ -245,3 +245,25 @@ class TestTelemetrySettings:
     def test_validate_rejects_bad_values(self, kwargs):
         with pytest.raises(ConfigurationError):
             TelemetrySettings(enabled=True, **kwargs).validate()
+
+
+class TestSparkline:
+    def test_scales_to_the_window_min_max(self):
+        from repro.telemetry.dashboard import SPARK_LEVELS, sparkline
+
+        strip = sparkline([0.0, 5.0, 10.0])
+        assert len(strip) == 3
+        assert strip[0] == SPARK_LEVELS[0]
+        assert strip[-1] == SPARK_LEVELS[-1]
+        assert strip[1] not in (SPARK_LEVELS[0], SPARK_LEVELS[-1])
+
+    def test_flat_and_empty_series(self):
+        from repro.telemetry.dashboard import SPARK_LEVELS, sparkline
+
+        assert sparkline([]) == ""
+        assert sparkline([3.0, 3.0, 3.0]) == SPARK_LEVELS[0] * 3
+
+    def test_window_keeps_only_the_tail(self):
+        from repro.telemetry.dashboard import sparkline
+
+        assert len(sparkline(range(100), width=10)) == 10
