@@ -127,6 +127,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(implies --recovery; default 1.0)",
     )
     parser.add_argument(
+        "--no-delta-transfer",
+        action="store_true",
+        help="resync rejoining nodes with full snapshots instead of "
+        "watermark deltas (the pre-delta state-transfer protocol)",
+    )
+    parser.add_argument(
         "--telemetry",
         action="store_true",
         help="enable the telemetry subsystem (metrics, events, traces)",
@@ -199,6 +205,8 @@ def config_from_args(args: argparse.Namespace) -> SystemConfig:
     recovery_overrides = {"enabled": True}
     if args.checkpoint_interval > 0:
         recovery_overrides["checkpoint_interval_s"] = args.checkpoint_interval
+    if args.no_delta_transfer:
+        recovery_overrides["delta_state_transfer"] = False
     recovery = (
         dataclasses.replace(RecoverySettings(), **recovery_overrides)
         if recovery_on
@@ -451,6 +459,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print("rejoin latency   %.3f s mean, %.3f s max" % (
                 result.recovery.get("rejoin_latency_mean_s", 0.0),
                 result.recovery.get("rejoin_latency_max_s", 0.0)))
+        if result.recovery.get("state_transfer_bytes"):
+            print("state transfer   %d bytes (%d saved by deltas, %d fallbacks)" % (
+                int(result.recovery.get("state_transfer_bytes", 0)),
+                int(result.recovery.get("state_transfer_bytes_saved", 0)),
+                int(result.recovery.get("state_transfer_fallbacks", 0))))
     if result.telemetry:
         print("telemetry        %d events, %d samples, %d instruments" % (
             int(result.telemetry.get("events_emitted", 0)),

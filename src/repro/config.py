@@ -303,5 +303,6 @@ class SystemConfig:
             "telemetry_enabled": self.telemetry.enabled,
             "recovery_enabled": self.recovery.enabled,
             "checkpoint_interval_s": self.recovery.checkpoint_interval_s,
+            "delta_state_transfer": self.recovery.delta_state_transfer,
             "seed": self.seed,
         }

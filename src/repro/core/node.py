@@ -25,6 +25,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.config import SystemConfig, WindowKind
 from repro.core.health import PeerHealthMonitor
 from repro.core.policies.base import ForwardingPolicy
@@ -32,7 +34,13 @@ from repro.errors import ConfigurationError
 from repro.join.ground_truth import GroundTruthOracle
 from repro.join.hash_join import JoinResult, SymmetricHashJoin
 from repro.metrics.accounting import ResultCollector
-from repro.net.message import Message, MessageKind
+from repro.core.summaries import SummaryUpdate
+from repro.net.message import (
+    HEADER_BYTES,
+    SUMMARY_COEFFICIENT_BYTES,
+    Message,
+    MessageKind,
+)
 from repro.net.reliable import ReliableTransport
 from repro.net.simulator import Event, EventKeySource, EventScheduler
 from repro.net.topology import Network
@@ -42,6 +50,14 @@ from repro.recovery.checkpoint import (
     encode_blob,
     restore_window,
     window_state,
+)
+from repro.recovery.delta import (
+    SummaryHistory,
+    apply_delta,
+    decode_payload,
+    delta_wire_entries,
+    encode_delta,
+    payload_digest,
 )
 from repro.recovery.machine import RecoveryMachine, RecoveryPhase
 from repro.recovery.settings import RecoverySettings
@@ -142,6 +158,9 @@ class JoinProcessingNode:
         self.recovery_machine: Optional[RecoveryMachine] = None
         if recovery is not None and recovery.enabled:
             self.recovery_machine = RecoveryMachine(node_id)
+        for runtime in self._queries.values():
+            # Query 0 was installed before the recovery settings existed.
+            self._install_delta_history(runtime.policy)
         self._replay_log: Deque[StreamTuple] = deque()
         self._pending_messages: List[Message] = []
         self._transfer_timers: Dict[int, Event] = {}
@@ -156,6 +175,19 @@ class JoinProcessingNode:
         self.tuples_replayed = 0
         self.replay_dropped = 0
         self.state_transfer_bytes = 0
+        self.state_transfer_delta_bytes = 0
+        self.state_transfer_full_bytes = 0
+        self.state_transfer_bytes_saved = 0
+        self.state_transfer_fallbacks = 0
+        self._resync_claims: Dict[int, Dict[Tuple[int, str, str], Tuple[int, str]]] = {}
+        """Per peer, per ``(query_id, algorithm, stream value)`` slot: the
+        ``(version, digest)`` the latest restore recovered -- what the
+        delta state-transfer request claims as its resync base."""
+        self._resync_bases: Dict[int, Dict[Tuple[int, str, str], object]] = {}
+        """The restored payloads behind the claims.  Deltas apply against
+        these (not the live remote table) so a retransmitted response
+        still applies cleanly after an earlier one already landed."""
+        self._restored_watermark: Optional[float] = None
         self.telemetry = telemetry
         """Optional :class:`~repro.telemetry.TelemetryHub`; every service
         becomes a span and fan-out decisions feed a histogram.  Handles
@@ -199,6 +231,29 @@ class JoinProcessingNode:
             oracle=oracle,
             collector=collector,
         )
+        if getattr(self, "recovery_settings", None) is not None:
+            # Query 0 arrives from the constructor before the recovery
+            # settings exist; the constructor re-runs the installation.
+            self._install_delta_history(policy)
+
+    @property
+    def _delta_transfer_enabled(self) -> bool:
+        return (
+            self.recovery_settings is not None
+            and self.recovery_settings.enabled
+            and self.recovery_settings.delta_state_transfer
+        )
+
+    def _install_delta_history(self, policy: ForwardingPolicy) -> None:
+        """Attach a snapshot-history ring to the policy's outbox.
+
+        Every node needs one when delta transfers are on -- any peer may
+        crash and claim a watermark against *this* node's broadcasts.
+        """
+        if self._delta_transfer_enabled and policy.outbox.history is None:
+            policy.outbox.history = SummaryHistory(
+                self.recovery_settings.delta_history_limit
+            )
 
     def query(self, query_id: int = 0) -> QueryRuntime:
         """The runtime of one query (0 is the first/only query)."""
@@ -635,6 +690,16 @@ class JoinProcessingNode:
                     "local_results": runtime.join.local_results,
                     "probe_results": runtime.join.probe_results,
                 },
+                # The freshest remote summaries known now: restore replays
+                # them through on_remote_summary, and the delta state
+                # transfer claims them as its resync base (the blob's
+                # taken_at is the watermark).  Policies without remote
+                # state (BASE, round-robin) checkpoint an empty list.
+                "remote": (
+                    runtime.policy.remote.checkpoint_state()
+                    if getattr(runtime.policy, "remote", None) is not None
+                    else []
+                ),
             }
         return {
             "version": CHECKPOINT_VERSION,
@@ -653,8 +718,12 @@ class JoinProcessingNode:
         last = interarrival["last"]
         self._last_arrival_time = None if last is None else float(last)
         self._last_contact = {}
+        self._resync_claims = {}
+        self._resync_bases = {}
+        self._restored_watermark = float(state["taken_at"])
         for query_key, query_state in state["queries"].items():
-            runtime = self._queries[int(query_key)]
+            query_id = int(query_key)
+            runtime = self._queries[query_id]
             runtime.policy.restore_state(query_state["policy"])
             for stream in (StreamId.R, StreamId.S):
                 restore_window(
@@ -671,6 +740,50 @@ class JoinProcessingNode:
                 runtime.shadow_windows[stream] = shadows
             runtime.join.local_results = int(query_state["join"]["local_results"])
             runtime.join.probe_results = int(query_state["join"]["probe_results"])
+            self._restore_remote_summaries(
+                query_id, runtime, query_state.get("remote", [])
+            )
+
+    def _restore_remote_summaries(
+        self, query_id: int, runtime: QueryRuntime, entries: List[List[object]]
+    ) -> None:
+        """Replay checkpointed remote summaries through the policy.
+
+        Replaying through ``on_remote_summary`` (rather than poking the
+        table directly) rebuilds every derived cache -- remote Bloom
+        filters, sketch copies -- exactly as a live broadcast would.  The
+        replayed snapshot slots double as the bases the delta state
+        transfer claims toward each peer."""
+        managers = getattr(runtime.policy, "managers", None)
+        if not entries or managers is None:
+            return
+        for peer, stream_value, version, encoded in entries:
+            peer = int(peer)
+            stream = StreamId(stream_value)
+            payload = decode_payload(encoded)
+            manager = managers[stream]
+            algorithm = getattr(manager, "algorithm", None)
+            if algorithm is None:
+                algorithm = manager.ALGORITHM
+            update = SummaryUpdate(
+                algorithm=algorithm,
+                stream=stream,
+                version=int(version),
+                window_size=manager.window_size,
+                entries=(
+                    getattr(manager, "entries", None) or len(payload)
+                ),
+                payload=payload,
+                full_state=True,
+            )
+            runtime.policy.on_remote_summary(peer, update)
+            if self._delta_transfer_enabled and isinstance(payload, np.ndarray):
+                slot = (query_id, algorithm, stream_value)
+                self._resync_claims.setdefault(peer, {})[slot] = (
+                    int(version),
+                    payload_digest(payload),
+                )
+                self._resync_bases.setdefault(peer, {})[slot] = payload
 
     def on_crash(self) -> None:
         """The restartable crash started: the process and its soft state die."""
@@ -685,6 +798,9 @@ class JoinProcessingNode:
         self._queue.clear()
         self._pending_messages.clear()
         self._replay_log.clear()
+        self._resync_claims = {}
+        self._resync_bases = {}
+        self._restored_watermark = None
         self._cancel_recovery_timers()
         if self.telemetry is not None:
             self.telemetry.emit(
@@ -769,11 +885,21 @@ class JoinProcessingNode:
     def _send_transfer_request(self, peer: int) -> None:
         attempts = self._transfer_attempts.get(peer, 0)
         self._transfer_attempts[peer] = attempts + 1
+        if self._delta_transfer_enabled:
+            # The watermark and per-slot claims ride the fixed request
+            # header (like Message.seq): the request stays header-sized
+            # on the modeled wire in both transfer modes.
+            detail = {
+                "watermark": self._restored_watermark,
+                "slots": dict(self._resync_claims.get(peer, {})),
+            }
+        else:
+            detail = None
         request = Message(
             kind=MessageKind.STATE_TRANSFER,
             source=self.node_id,
             destination=peer,
-            payload=("request", None),
+            payload=("request", detail),
         )
         # Deliberately best-effort: the peer's ARQ receive channel for us
         # still expects the pre-crash sequence numbers until it resets on
@@ -854,42 +980,207 @@ class JoinProcessingNode:
     def _process_state_transfer(self, message: Message) -> float:
         """Serve or absorb recovery anti-entropy traffic."""
         now = self.scheduler.now
-        direction, _ = message.payload
+        direction = message.payload[0]
         if direction == "request":
-            # The requester restarted from scratch: reset our ARQ channels
-            # toward it (its sequence numbers are back at zero) and answer
-            # with full summary snapshots for every query.
-            if self.transport is not None:
-                self.transport.reset_peer(message.source)
-            self.resyncs += 1
-            for query_id in sorted(self._queries):
-                self._queries[query_id].policy.resync_peer(message.source)
-            updates = self._take_pending_updates(message.source)
+            return self._serve_state_transfer(message, now)
+        # A peer's response: apply its snapshots (or deltas) and mark it
+        # synced.
+        self.state_transfer_bytes += message.size_bytes()
+        if direction == "delta_response":
+            _, _, slots = message.payload
+            for slot in slots:
+                self._apply_transfer_slot(message.source, slot)
+            received = bool(slots)
+        else:
+            _, updates = message.payload
+            for update_query_id, update in updates:
+                self._queries[update_query_id].policy.on_remote_summary(
+                    message.source, update
+                )
+            received = bool(updates)
+        if received and self.health is not None:
+            self.health.summary_received(message.source, now)
+        self._mark_peer_synced(message.source, now)
+        return self.config.cpu_seconds_per_probe
+
+    def _serve_state_transfer(self, message: Message, now: float) -> float:
+        """Answer a rejoining peer's resync request.
+
+        The requester restarted from scratch: reset our ARQ channels
+        toward it (its sequence numbers are back at zero) and resync
+        every query -- as watermark deltas where its claims check out,
+        as full snapshots otherwise (and always for legacy requests).
+        """
+        if self.transport is not None:
+            self.transport.reset_peer(message.source)
+        self.resyncs += 1
+        for query_id in sorted(self._queries):
+            self._queries[query_id].policy.resync_peer(message.source)
+        updates = self._take_pending_updates(message.source)
+        full_entries = sum(update.entries for _, update in updates)
+        detail = message.payload[1]
+        if detail is None:
             response = Message(
                 kind=MessageKind.STATE_TRANSFER,
                 source=self.node_id,
                 destination=message.source,
                 payload=("response", updates),
-                summary_entries=sum(update.entries for _, update in updates),
+                summary_entries=full_entries,
             )
-            if self.transport is not None:
-                self.transport.send(response)
-            else:
-                self.network.send(response)
-            self.state_transfer_bytes += response.size_bytes()
-            self._last_contact[message.source] = now
-            return self.config.cpu_seconds_per_probe + self._pause_seconds(response)
-        # A peer's response: apply its snapshots and mark it synced.
-        _, updates = message.payload
-        self.state_transfer_bytes += message.size_bytes()
-        for update_query_id, update in updates:
-            self._queries[update_query_id].policy.on_remote_summary(
-                message.source, update
+        else:
+            response = self._build_delta_response(
+                message.source, detail, updates, full_entries, now
             )
-        if updates and self.health is not None:
-            self.health.summary_received(message.source, now)
-        self._mark_peer_synced(message.source, now)
-        return self.config.cpu_seconds_per_probe
+        if self.transport is not None:
+            self.transport.send(response)
+        else:
+            self.network.send(response)
+        self.state_transfer_bytes += response.size_bytes()
+        self._last_contact[message.source] = now
+        # The sender pause is charged at the full-snapshot size in both
+        # modes: assembling a delta still walks the complete summary
+        # state, and pinning the serve timeline keeps delta on/off runs
+        # on identical event schedules -- the savings show up on the
+        # wire counters, not the clock.
+        full_size = HEADER_BYTES + full_entries * SUMMARY_COEFFICIENT_BYTES
+        pause = full_size * 8.0 / self.config.sender_paced_bps
+        return self.config.cpu_seconds_per_probe + pause
+
+    def _build_delta_response(
+        self,
+        peer: int,
+        detail: Dict[str, object],
+        updates: List[Tuple[int, SummaryUpdate]],
+        full_entries: int,
+        now: float,
+    ) -> Message:
+        """Encode one resync response against the requester's claims.
+
+        Each snapshot slot the requester claimed (version + digest) is
+        looked up in the outbox's :class:`SummaryHistory`; if the claimed
+        base is still there and verifies, only the changed entries ship.
+        Any claim the history cannot honor downgrades the *whole*
+        response to full snapshots (one counted fallback), so a response
+        is never a mix of trusted and untrusted bases."""
+        claims = detail.get("slots") or {}
+        prepared: List[Tuple[tuple, int]] = []
+        fallback = False
+        for query_id, update in updates:
+            slot_key = (query_id, update.algorithm, update.stream.value)
+            claim = claims.get(slot_key)
+            chosen = (("full", query_id, update), update.entries)
+            if claim is not None and isinstance(update.payload, np.ndarray):
+                version, digest = claim
+                history = self._queries[query_id].policy.outbox.history
+                base = (
+                    history.view(update.algorithm, update.stream, int(version))
+                    if history is not None
+                    else None
+                )
+                if base is None or payload_digest(base) != digest:
+                    # The snapshot ring no longer covers the claimed
+                    # version (or the digest disagrees -- version
+                    # counters roll back across our own restores, so
+                    # versions alone are never trusted).
+                    fallback = True
+                else:
+                    blob = encode_delta(base, update.payload)
+                    if blob is not None:
+                        wire = delta_wire_entries(blob, update.entries)
+                        if wire < update.entries:
+                            chosen = (
+                                (
+                                    "delta",
+                                    query_id,
+                                    update.algorithm,
+                                    update.stream.value,
+                                    update.version,
+                                    update.window_size,
+                                    update.entries,
+                                    blob,
+                                ),
+                                wire,
+                            )
+            prepared.append(chosen)
+        if fallback:
+            prepared = [
+                (("full", query_id, update), update.entries)
+                for query_id, update in updates
+            ]
+        slots = [slot for slot, _ in prepared]
+        wire_entries = sum(wire for _, wire in prepared)
+        any_delta = any(slot[0] == "delta" for slot in slots)
+        response = Message(
+            kind=MessageKind.STATE_TRANSFER,
+            source=self.node_id,
+            destination=peer,
+            payload=("delta_response", fallback, slots),
+            summary_entries=wire_entries,
+        )
+        size = response.size_bytes()
+        full_size = HEADER_BYTES + full_entries * SUMMARY_COEFFICIENT_BYTES
+        if any_delta:
+            self.state_transfer_delta_bytes += size
+            self.state_transfer_bytes_saved += full_size - size
+        else:
+            self.state_transfer_full_bytes += size
+        if fallback:
+            self.state_transfer_fallbacks += 1
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "recovery.state_transfer",
+                category="recovery",
+                node=self.node_id,
+                time=now,
+                peer=peer,
+                kind="delta" if any_delta else "full",
+                size_bytes=size,
+                saved_bytes=max(0, full_size - size),
+                watermark=detail.get("watermark"),
+            )
+            if fallback:
+                self.telemetry.emit(
+                    "recovery.transfer_fallback",
+                    category="recovery",
+                    node=self.node_id,
+                    time=now,
+                    peer=peer,
+                    watermark=detail.get("watermark"),
+                )
+        return response
+
+    def _apply_transfer_slot(self, source: int, slot: tuple) -> None:
+        """Absorb one slot of a delta-protocol resync response."""
+        if slot[0] == "full":
+            _, query_id, update = slot
+            self._queries[query_id].policy.on_remote_summary(source, update)
+            return
+        (
+            _,
+            query_id,
+            algorithm,
+            stream_value,
+            version,
+            window_size,
+            entries,
+            blob,
+        ) = slot
+        # Deltas apply against the *restored* base we claimed, not the
+        # live remote table: a retransmitted response then still applies
+        # cleanly after an earlier copy already advanced the table.
+        base = self._resync_bases.get(source, {}).get(
+            (query_id, algorithm, stream_value)
+        )
+        update = SummaryUpdate(
+            algorithm=algorithm,
+            stream=StreamId(stream_value),
+            version=int(version),
+            window_size=window_size,
+            entries=entries,
+            payload=apply_delta(base, blob),
+            full_state=True,
+        )
+        self._queries[query_id].policy.on_remote_summary(source, update)
 
     def _probe_shadow(
         self, runtime: QueryRuntime, item: StreamTuple, now: float
@@ -1104,6 +1395,18 @@ class JoinProcessingNode:
             counters["tuples_replayed"] = float(self.tuples_replayed)
             counters["replay_dropped"] = float(self.replay_dropped)
             counters["state_transfer_bytes"] = float(self.state_transfer_bytes)
+            counters["state_transfer_delta_bytes"] = float(
+                self.state_transfer_delta_bytes
+            )
+            counters["state_transfer_full_bytes"] = float(
+                self.state_transfer_full_bytes
+            )
+            counters["state_transfer_bytes_saved"] = float(
+                self.state_transfer_bytes_saved
+            )
+            counters["state_transfer_fallbacks"] = float(
+                self.state_transfer_fallbacks
+            )
             for key, value in self.recovery_machine.counters().items():
                 counters["recovery_" + key] = value
         return counters
@@ -1138,6 +1441,10 @@ class JoinProcessingNode:
             "tuples_replayed": self.tuples_replayed,
             "replay_dropped": self.replay_dropped,
             "state_transfer_bytes": self.state_transfer_bytes,
+            "state_transfer_delta_bytes": self.state_transfer_delta_bytes,
+            "state_transfer_full_bytes": self.state_transfer_full_bytes,
+            "state_transfer_bytes_saved": self.state_transfer_bytes_saved,
+            "state_transfer_fallbacks": self.state_transfer_fallbacks,
             "rejoin_latencies": (
                 list(self.recovery_machine.rejoin_latencies)
                 if self.recovery_machine is not None

@@ -51,15 +51,24 @@ class SummaryOutbox:
         self._pending: Dict[int, Dict[Tuple[str, StreamId], SummaryUpdate]] = {
             int(peer): {} for peer in peer_ids
         }
+        self.history = None
+        """Optional :class:`~repro.recovery.delta.SummaryHistory`: when
+        the watermark-delta state transfer is on, the node attaches one
+        per outbox so every outgoing snapshot version stays available as
+        a delta base for recovering peers."""
 
     def broadcast(self, update: SummaryUpdate) -> None:
         """Queue ``update`` for every peer, superseding older queued ones."""
+        if self.history is not None:
+            self.history.record(update)
         slot = (update.algorithm, update.stream)
         for queue in self._pending.values():
             queue[slot] = update
 
     def queue_for(self, peer: int, update: SummaryUpdate) -> None:
         """Queue ``update`` for a single peer (retransmissions)."""
+        if self.history is not None:
+            self.history.record(update)
         self._pending[peer][(update.algorithm, update.stream)] = update
 
     def has_pending(self, peer: int) -> bool:
@@ -80,9 +89,13 @@ class SummaryOutbox:
 
     def clear(self) -> None:
         """Drop everything queued (checkpoint restore: pending updates are
-        soft state -- the resync protocol refills peers explicitly)."""
+        soft state -- the resync protocol refills peers explicitly).  The
+        snapshot history goes too: the restored version counter rolled
+        back, so kept views could collide with re-used version numbers."""
         for queue in self._pending.values():
             queue.clear()
+        if self.history is not None:
+            self.history.clear()
 
 
 class RemoteSummaryTable:
@@ -132,6 +145,26 @@ class RemoteSummaryTable:
 
     def known_peers(self, stream: StreamId) -> List[int]:
         return [peer for (peer, s) in self._state if s is stream]
+
+    def checkpoint_state(self) -> List[List[object]]:
+        """JSON-safe snapshot of the freshest remote summaries.
+
+        Unlike the policies' own :meth:`checkpoint_state`, this is *not*
+        restored through an inverse method here: the node replays the
+        entries through ``policy.on_remote_summary`` so derived caches
+        (remote Bloom filters, sketch copies, reconstructions) rebuild
+        consistently.  The entries are the watermark the delta state
+        transfer negotiates from.
+        """
+        from repro.recovery.delta import encode_payload
+
+        return [
+            [peer, stream.value, self._versions[(peer, stream)],
+             encode_payload(self._state[(peer, stream)])]
+            for peer, stream in sorted(
+                self._state, key=lambda key: (key[0], key[1].value)
+            )
+        ]
 
     def clear(self) -> None:
         """Forget every remote summary (checkpoint restore: remote state

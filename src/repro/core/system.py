@@ -614,6 +614,10 @@ class DistributedJoinSystem:
                 "tuples_replayed",
                 "replay_dropped",
                 "state_transfer_bytes",
+                "state_transfer_delta_bytes",
+                "state_transfer_full_bytes",
+                "state_transfer_bytes_saved",
+                "state_transfer_fallbacks",
             ):
                 recovery[key] = float(sum(record[key] for record in records))
             rejoin_latencies: List[float] = []

@@ -57,7 +57,9 @@ from repro.net.reliable import ReliabilitySettings
 from repro.parallel import RunCache, RunRequest, run_many
 from repro.recovery.settings import RecoverySettings
 
-CHAOS_FORMAT_VERSION = 2
+CHAOS_FORMAT_VERSION = 3
+"""Version 3 added the state-transfer columns (bytes, delta savings,
+fallbacks) for the watermark-delta resync protocol."""
 
 WORST_CASE_EVENT = "policy.worst_case_mode"
 
@@ -303,6 +305,17 @@ class ChaosRow:
     """Reliable-channel sends whose retries were exhausted (the messages
     the ARQ gave up on; surfaced per-event as ``transport.dead_letter``)."""
 
+    state_transfer_bytes: float = 0.0
+    """Bytes of recovery anti-entropy traffic (requests + responses)."""
+
+    transfer_bytes_saved: float = 0.0
+    """Bytes the watermark-delta resync kept off the wire relative to
+    shipping full snapshots (zero with ``delta_state_transfer`` off)."""
+
+    transfer_fallbacks: float = 0.0
+    """Delta resync responses downgraded to full snapshots because the
+    serving peer's history no longer covered the claimed watermark."""
+
     def as_dict(self) -> Dict[str, object]:
         return dataclasses.asdict(self)
 
@@ -502,6 +515,15 @@ def run(
                 dead_letters=float(
                     reliability_counters.get("delivery_failures", 0.0)
                 ),
+                state_transfer_bytes=float(
+                    recovery_counters.get("state_transfer_bytes", 0.0)
+                ),
+                transfer_bytes_saved=float(
+                    recovery_counters.get("state_transfer_bytes_saved", 0.0)
+                ),
+                transfer_fallbacks=float(
+                    recovery_counters.get("state_transfer_fallbacks", 0.0)
+                ),
             )
         )
     return rows
@@ -574,6 +596,9 @@ def format_result(rows: Sequence[ChaosRow]) -> str:
             "replayed",
             "rejoin s",
             "dead ltrs",
+            "xfer kB",
+            "saved kB",
+            "fallbk",
         ],
         [
             (
@@ -593,6 +618,9 @@ def format_result(rows: Sequence[ChaosRow]) -> str:
                 row.tuples_replayed,
                 row.rejoin_latency_s,
                 row.dead_letters,
+                row.state_transfer_bytes / 1000.0,
+                row.transfer_bytes_saved / 1000.0,
+                row.transfer_fallbacks,
             )
             for row in rows
         ],
@@ -634,6 +662,8 @@ def format_recovery_comparison(
                 match.restarts,
                 match.tuples_replayed,
                 match.rejoin_latency_s,
+                match.state_transfer_bytes / 1000.0,
+                match.transfer_bytes_saved / 1000.0,
             )
         )
     if not entries:
@@ -648,6 +678,8 @@ def format_recovery_comparison(
             "restarts",
             "replayed",
             "rejoin s",
+            "xfer kB",
+            "saved kB",
         ],
         entries,
     )
@@ -746,6 +778,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint cadence for --recovery (default: the subsystem's)",
     )
     parser.add_argument(
+        "--no-delta-transfer",
+        action="store_true",
+        help="with --recovery: resync rejoining nodes with full snapshots "
+        "instead of watermark deltas (the pre-delta protocol)",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=0,
@@ -811,6 +849,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             overrides = {"enabled": True}
             if args.checkpoint_interval > 0:
                 overrides["checkpoint_interval_s"] = args.checkpoint_interval
+            if args.no_delta_transfer:
+                overrides["delta_state_transfer"] = False
             rejoin = RecoverySettings(**overrides)
             baseline_rows = run(
                 scale=args.scale,

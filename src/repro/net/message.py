@@ -65,7 +65,11 @@ class MessageKind(enum.Enum):
 
     STATE_TRANSFER = "state_transfer"
     """Recovery anti-entropy traffic (see repro.recovery): requests are
-    header-only; responses carry summary entries like any summary."""
+    header-only (watermark-delta claims ride the fixed framing, like
+    ``seq``); responses carry summary entries like any summary -- the
+    full snapshot's entries, or the honest, smaller delta footprint when
+    the watermark-delta protocol applies (the serving node still pauses
+    for the full-snapshot size; see repro.recovery.delta)."""
 
 
 @dataclass

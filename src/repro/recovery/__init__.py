@@ -7,7 +7,9 @@ Three pieces, composed by the node and the system:
 * :mod:`repro.recovery.checkpoint` -- the deterministic, byte-stable
   blob codec and the simulated durable store;
 * :mod:`repro.recovery.machine` -- the explicit
-  DOWN -> RESTORING -> CATCHING_UP -> LIVE rejoin state machine.
+  DOWN -> RESTORING -> CATCHING_UP -> LIVE rejoin state machine;
+* :mod:`repro.recovery.delta` -- the watermark-delta state-transfer
+  codec (ship only what changed since the restored checkpoint).
 
 See ``docs/recovery.md`` for the protocol walkthrough.
 """
@@ -25,6 +27,16 @@ from repro.recovery.checkpoint import (
     restore_window,
     window_state,
 )
+from repro.recovery.delta import (
+    DELTA_FORMAT_VERSION,
+    SummaryHistory,
+    apply_delta,
+    decode_payload,
+    delta_wire_entries,
+    encode_delta,
+    encode_payload,
+    payload_digest,
+)
 from repro.recovery.machine import TRIGGERS, RecoveryMachine, RecoveryPhase
 from repro.recovery.settings import RecoverySettings
 
@@ -32,16 +44,24 @@ __all__ = [
     "CHECKPOINT_VERSION",
     "Checkpoint",
     "CheckpointStore",
+    "DELTA_FORMAT_VERSION",
     "RecoveryMachine",
     "RecoveryPhase",
     "RecoverySettings",
+    "SummaryHistory",
     "TRIGGERS",
+    "apply_delta",
     "decode_array",
     "decode_blob",
+    "decode_payload",
     "decode_tuple",
+    "delta_wire_entries",
     "encode_array",
     "encode_blob",
+    "encode_delta",
+    "encode_payload",
     "encode_tuple",
+    "payload_digest",
     "restore_window",
     "window_state",
 ]

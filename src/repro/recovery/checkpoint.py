@@ -24,8 +24,13 @@ import numpy as np
 from repro.errors import SimulationError
 from repro.streams.tuples import StreamId, StreamTuple
 
-CHECKPOINT_VERSION = 1
-"""Bump on any change to the blob layout; restore refuses mismatches."""
+CHECKPOINT_VERSION = 2
+"""Bump on any change to the blob layout; restore refuses mismatches.
+
+Version 2 added the per-query ``remote`` section: the freshest remote
+summaries known at checkpoint time, which the watermark-delta state
+transfer uses as the resync base (see :mod:`repro.recovery.delta`).
+"""
 
 
 def encode_array(array: np.ndarray) -> Dict[str, object]:

@@ -49,6 +49,19 @@ class RecoverySettings:
     """Arrivals logged locally during an outage for replay at rejoin;
     beyond this the oldest logged arrivals are dropped (counted)."""
 
+    delta_state_transfer: bool = True
+    """Resync via watermark deltas: a rejoining node tells each peer
+    which summary versions its checkpoint restored (with content
+    digests), and the peer ships only what changed since -- falling
+    back to the full snapshot when its history no longer covers the
+    claimed version.  Off reproduces PR 5's full-snapshot transfers
+    byte for byte."""
+
+    delta_history_limit: int = 64
+    """Past snapshot versions each serving node keeps per summary slot
+    for delta computation; claims older than the ring trigger the
+    full-snapshot fallback."""
+
     def validate(self) -> None:
         if self.checkpoint_interval_s <= 0:
             raise ConfigurationError("checkpoint_interval_s must be positive")
@@ -64,3 +77,5 @@ class RecoverySettings:
             raise ConfigurationError("max_transfer_retries must be non-negative")
         if self.replay_log_capacity < 1:
             raise ConfigurationError("replay_log_capacity must be >= 1")
+        if self.delta_history_limit < 1:
+            raise ConfigurationError("delta_history_limit must be >= 1")

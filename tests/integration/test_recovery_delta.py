@@ -1,0 +1,217 @@
+"""Integration tests: watermark-delta state transfer end to end.
+
+The delta protocol is a pure wire-cost optimization: with
+``delta_state_transfer`` on, a rejoining node must land in *exactly*
+the state the full-snapshot protocol produces -- same stats, same
+epsilon, same event timeline -- while strictly fewer resync bytes cross
+the wire on large windows.  A seed-pinned three-node BLOOM cell (large
+window, so snapshots dominate resync traffic) crashes node 2 mid-run
+with a restart scheduled, once per transfer mode, and the results are
+compared after stripping only the transfer-accounting fields the two
+modes legitimately disagree on.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.config import Algorithm
+from repro.core.system import DistributedJoinSystem, run_experiment
+from repro.experiments.harness import get_scale, system_config
+from repro.experiments.persistence import result_to_dict
+from repro.net.faults import FaultPlan
+from repro.net.reliable import ReliabilitySettings
+from repro.recovery import RecoverySettings
+
+NUM_NODES = 3
+CRASH_SPEC = "crash@t=2,d=1.5,node=2,downtime=1.5"
+WINDOW = 2048
+"""Large windows are where the delta pays: at kappa 16 the BLOOM
+snapshot is 128 entries (5120 counters) per stream per query."""
+
+TRANSFER_EVENTS = {"recovery.state_transfer", "recovery.transfer_fallback"}
+
+
+def make_config(delta, telemetry=False, history_limit=64, num_nodes=NUM_NODES,
+                crash_spec=CRASH_SPEC):
+    plan = FaultPlan.parse(crash_spec, num_nodes=num_nodes)
+    config = system_config(
+        get_scale("smoke"),
+        Algorithm.BLOOM,
+        num_nodes=num_nodes,
+        kappa=16.0,
+        total_tuples=1_500,
+        telemetry=telemetry,
+        faults=plan,
+        reliability=ReliabilitySettings(enabled=True),
+        recovery=RecoverySettings(
+            enabled=True,
+            checkpoint_interval_s=0.5,
+            delta_state_transfer=delta,
+            delta_history_limit=history_limit,
+        ),
+    )
+    return dataclasses.replace(config, window_size=WINDOW, seed=7)
+
+
+def normalized(result) -> str:
+    """Canonical JSON with the mode-dependent accounting stripped.
+
+    Only the transfer byte counters (recovery section, per-node
+    diagnostics, traffic totals that include the smaller responses) and
+    the config echo of the knob itself may differ between modes;
+    everything else -- epsilon, pair counts, durations, per-query stats,
+    message counts -- must match byte for byte.
+    """
+    payload = json.loads(json.dumps(result_to_dict(result)))
+    payload["config"].pop("delta_state_transfer")
+    for key in list(payload["recovery"]):
+        if key.startswith("state_transfer"):
+            payload["recovery"].pop(key)
+    for diagnostics in payload["node_diagnostics"].values():
+        for key in list(diagnostics):
+            if key.startswith("state_transfer"):
+                diagnostics.pop(key)
+    for key in (
+        "total_bytes",
+        "summary_bytes",
+        "summary_entries",
+        "summary_overhead_fraction",
+    ):
+        payload["traffic"].pop(key)
+    return json.dumps(payload, sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def delta_result():
+    return run_experiment(make_config(delta=True))
+
+
+@pytest.fixture(scope="module")
+def full_result():
+    return run_experiment(make_config(delta=False))
+
+
+class TestModeEquivalence:
+    def test_results_identical_outside_transfer_accounting(
+        self, delta_result, full_result
+    ):
+        assert normalized(delta_result) == normalized(full_result)
+
+    def test_epsilon_and_pairs_are_bitwise_equal(self, delta_result, full_result):
+        assert delta_result.epsilon == full_result.epsilon
+        assert delta_result.truth_pairs == full_result.truth_pairs
+        assert delta_result.reported_pairs == full_result.reported_pairs
+        assert delta_result.duration_seconds == full_result.duration_seconds
+
+    def test_event_timelines_identical_modulo_transfer_events(self):
+        streams = {}
+        for delta in (True, False):
+            system = DistributedJoinSystem(make_config(delta, telemetry=True))
+            system.run()
+            streams[delta] = [
+                (
+                    event.name,
+                    event.time,
+                    event.node,
+                    event.dur_s,
+                    json.dumps(event.attrs, sort_keys=True, default=str),
+                )
+                for event in system.telemetry.events()
+                if event.name not in TRANSFER_EVENTS
+                and not (
+                    # net.* traces of the resync responses legitimately
+                    # carry the smaller honest byte size in delta mode.
+                    event.name.startswith("net.")
+                    and event.attrs.get("kind") == "state_transfer"
+                )
+            ]
+        assert streams[True] == streams[False]
+
+    def test_delta_mode_emits_transfer_events(self):
+        system = DistributedJoinSystem(make_config(delta=True, telemetry=True))
+        system.run()
+        transfers = [
+            event
+            for event in system.telemetry.events()
+            if event.name == "recovery.state_transfer"
+        ]
+        assert transfers
+        assert any(event.attrs["kind"] == "delta" for event in transfers)
+        assert all(event.attrs["size_bytes"] > 0 for event in transfers)
+
+
+class TestDeltaSavings:
+    def test_resync_bytes_strictly_smaller_under_delta(
+        self, delta_result, full_result
+    ):
+        on = delta_result.recovery
+        off = full_result.recovery
+        assert on["state_transfer_bytes"] < off["state_transfer_bytes"]
+        assert on["state_transfer_bytes_saved"] > 0
+        assert on["state_transfer_delta_bytes"] > 0
+        assert on["state_transfer_fallbacks"] == 0.0
+
+    def test_full_mode_never_reports_delta_accounting(self, full_result):
+        off = full_result.recovery
+        assert off["state_transfer_delta_bytes"] == 0.0
+        assert off["state_transfer_bytes_saved"] == 0.0
+        assert off["state_transfer_fallbacks"] == 0.0
+
+
+class TestShardedIdentity:
+    def test_delta_cell_is_byte_identical_under_shards(self, delta_result):
+        system = DistributedJoinSystem(make_config(delta=True), shards=2)
+        sharded = system.run()
+        first = json.dumps(result_to_dict(delta_result), sort_keys=True)
+        second = json.dumps(result_to_dict(sharded), sort_keys=True)
+        assert first == second
+
+
+class TestFallback:
+    @pytest.fixture(scope="class")
+    def truncated_result(self):
+        # A one-deep snapshot ring cannot cover a watermark from before
+        # the outage: every serving peer must fall back to the full
+        # snapshot, exactly once per response.
+        return run_experiment(
+            make_config(
+                delta=True,
+                history_limit=1,
+                num_nodes=2,
+                crash_spec="crash@t=2,d=1.5,node=1,downtime=1.5",
+            )
+        )
+
+    def test_truncated_history_falls_back_to_full_snapshots(
+        self, truncated_result
+    ):
+        recovery = truncated_result.recovery
+        assert recovery["state_transfer_fallbacks"] == 1.0
+        assert recovery["state_transfer_delta_bytes"] == 0.0
+        assert recovery["state_transfer_bytes_saved"] == 0.0
+        assert recovery["state_transfer_full_bytes"] > 0
+
+    def test_requester_still_rejoins_cleanly(self, truncated_result):
+        recovery = truncated_result.recovery
+        assert recovery["restarts"] == 1.0
+        assert recovery["rejoins_clean"] == 1.0
+
+    def test_fallback_event_fires_exactly_once(self):
+        system = DistributedJoinSystem(
+            make_config(
+                delta=True,
+                history_limit=1,
+                num_nodes=2,
+                crash_spec="crash@t=2,d=1.5,node=1,downtime=1.5",
+                telemetry=True,
+            )
+        )
+        system.run()
+        fallbacks = [
+            event
+            for event in system.telemetry.events()
+            if event.name == "recovery.transfer_fallback"
+        ]
+        assert len(fallbacks) == 1
