@@ -133,6 +133,29 @@ def build_parser() -> argparse.ArgumentParser:
         "watermark deltas (the pre-delta state-transfer protocol)",
     )
     parser.add_argument(
+        "--overload",
+        action="store_true",
+        help="enable overload protection: bounded service queues, the "
+        "NORMAL/THROTTLED/SHEDDING degradation ladder, and deterministic "
+        "priority-ordered load shedding",
+    )
+    parser.add_argument(
+        "--queue-bound",
+        type=int,
+        default=0,
+        metavar="N",
+        help="hard per-node service-queue bound in work items "
+        "(implies --overload; default 64)",
+    )
+    parser.add_argument(
+        "--link-backlog-bound",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="shed messages once a link's send backlog exceeds this many "
+        "seconds of serialization (implies --overload; 0 = unbounded)",
+    )
+    parser.add_argument(
         "--telemetry",
         action="store_true",
         help="enable the telemetry subsystem (metrics, events, traces)",
@@ -231,6 +254,29 @@ def config_from_args(args: argparse.Namespace) -> SystemConfig:
         if reliable
         else ReliabilitySettings()
     )
+    from repro.overload import OverloadSettings
+
+    if args.queue_bound < 0:
+        raise ConfigurationError("--queue-bound must be positive")
+    if args.link_backlog_bound < 0:
+        raise ConfigurationError("--link-backlog-bound must be non-negative")
+    overload_on = (
+        args.overload or args.queue_bound > 0 or args.link_backlog_bound > 0
+    )
+    if not overload_on:
+        overload = OverloadSettings()
+    elif args.queue_bound > 0:
+        # Watermarks scale with the bound so --queue-bound alone always
+        # yields a valid hysteresis ladder.
+        overload = OverloadSettings.for_queue_bound(
+            args.queue_bound, link_backlog_bound_s=args.link_backlog_bound
+        )
+    else:
+        overload = dataclasses.replace(
+            OverloadSettings(),
+            enabled=True,
+            link_backlog_bound_s=args.link_backlog_bound,
+        )
     from repro.telemetry import TelemetrySettings
 
     telemetry_on = (
@@ -275,6 +321,7 @@ def config_from_args(args: argparse.Namespace) -> SystemConfig:
         faults=faults,
         telemetry=telemetry,
         recovery=recovery,
+        overload=overload,
         seed=args.seed,
     )
 
@@ -407,6 +454,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             payload["faults"] = result.faults
         if result.recovery:
             payload["recovery"] = result.recovery
+        if result.overload:
+            payload["overload"] = result.overload
         if result.profile:
             payload["profile"] = result.profile
         if result.telemetry:
@@ -464,6 +513,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 int(result.recovery.get("state_transfer_bytes", 0)),
                 int(result.recovery.get("state_transfer_bytes_saved", 0)),
                 int(result.recovery.get("state_transfer_fallbacks", 0))))
+    if result.overload:
+        print("overload shed    %d tuples, %d messages (%d at links)" % (
+            int(result.overload.get("shed_tuples", 0)),
+            int(result.overload.get("shed_messages", 0)),
+            int(result.overload.get("link_messages_shed", 0))))
+        print("degradation      %d transitions, %.2f s throttled, %.2f s shedding" % (
+            int(result.overload.get("mode_transitions", 0)),
+            result.overload.get("throttled_seconds", 0.0),
+            result.overload.get("shedding_seconds", 0.0)))
     if result.telemetry:
         print("telemetry        %d events, %d samples, %d instruments" % (
             int(result.telemetry.get("events_emitted", 0)),

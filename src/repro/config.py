@@ -27,6 +27,7 @@ from repro.errors import ConfigurationError
 from repro.net.faults import FaultPlan
 from repro.net.link import LinkSpec
 from repro.net.reliable import ReliabilitySettings
+from repro.overload.settings import OverloadSettings
 from repro.recovery.settings import RecoverySettings
 from repro.telemetry.settings import TelemetrySettings
 
@@ -224,6 +225,10 @@ class SystemConfig:
     """Checkpoint/restart recovery knobs (off by default; see
     :mod:`repro.recovery`).  Requires the reliable transport."""
 
+    overload: OverloadSettings = field(default_factory=OverloadSettings)
+    """Bounded queues / load-shedding knobs (off by default: queues grow
+    without bound, the pre-overload semantics; see :mod:`repro.overload`)."""
+
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -268,6 +273,7 @@ class SystemConfig:
         self.faults.validate(self.num_nodes)
         self.telemetry.validate()
         self.recovery.validate()
+        self.overload.validate()
         if self.recovery.enabled and not self.reliability.enabled:
             raise ConfigurationError(
                 "recovery requires the reliable transport (reliability.enabled):"
@@ -282,8 +288,13 @@ class SystemConfig:
         return dataclasses.replace(self, **changes)
 
     def as_dict(self) -> Dict[str, object]:
-        """Flat, JSON-friendly echo of the configuration."""
-        return {
+        """Flat, JSON-friendly echo of the configuration.
+
+        Overload keys appear only when the subsystem is enabled, so runs
+        with the default settings echo byte-identically to builds that
+        predate it.
+        """
+        payload: Dict[str, object] = {
             "num_nodes": self.num_nodes,
             "window_size": self.window_size,
             "algorithm": self.policy.algorithm.value,
@@ -306,3 +317,9 @@ class SystemConfig:
             "delta_state_transfer": self.recovery.delta_state_transfer,
             "seed": self.seed,
         }
+        if self.overload.enabled:
+            payload["overload_enabled"] = True
+            payload["queue_bound"] = self.overload.queue_bound
+            payload["shed_watermark"] = self.overload.shed_watermark
+            payload["throttle_watermark"] = self.overload.throttle_watermark
+        return payload

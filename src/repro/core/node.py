@@ -44,6 +44,7 @@ from repro.net.message import (
 from repro.net.reliable import ReliableTransport
 from repro.net.simulator import Event, EventKeySource, EventScheduler
 from repro.net.topology import Network
+from repro.overload import DegradationLadder, DegradationMode, OverloadDetector
 from repro.recovery.checkpoint import (
     CHECKPOINT_VERSION,
     CheckpointStore,
@@ -179,6 +180,18 @@ class JoinProcessingNode:
         self.state_transfer_full_bytes = 0
         self.state_transfer_bytes_saved = 0
         self.state_transfer_fallbacks = 0
+        # --- overload protection (repro.overload) -----------------------
+        self.overload_settings = config.overload if config.overload.enabled else None
+        self.degradation_ladder: Optional[DegradationLadder] = None
+        self._overload_detector: Optional[OverloadDetector] = None
+        if self.overload_settings is not None:
+            self.degradation_ladder = DegradationLadder(node_id)
+            self._overload_detector = OverloadDetector(
+                self.overload_settings, self.degradation_ladder
+            )
+        self.shed_tuples = 0
+        self.shed_messages = 0
+        self.suppressed_flushes = 0
         self._resync_claims: Dict[int, Dict[Tuple[int, str, str], Tuple[int, str]]] = {}
         """Per peer, per ``(query_id, algorithm, stream value)`` slot: the
         ``(version, digest)`` the latest restore recovered -- what the
@@ -395,11 +408,135 @@ class JoinProcessingNode:
             # through, and a serving peer answers resync requests ahead of
             # its data plane -- otherwise on a saturated mesh the catch-up
             # window is bounded by queue depth instead of the WAN.
+            # It also bypasses the overload bound: shedding the recovery
+            # handshake would deadlock a rejoining node behind the very
+            # congestion it is trying to rejoin through.
             self._queue.appendleft(work)
+        elif (
+            self.overload_settings is not None
+            and len(self._queue) >= self.overload_settings.queue_bound
+        ):
+            self._admit_over_bound(work)
         else:
             self._queue.append(work)
         self.max_queue_depth = max(self.max_queue_depth, len(self._queue))
+        if self._overload_detector is not None:
+            self._observe_overload(len(self._queue))
         self._start_next()
+
+    # Shedding priority classes, highest kept longest.  Remote tuple
+    # copies go first: the origin node already counted them toward its
+    # own report, so dropping a copy costs recall on cross-partition
+    # pairs only.  Local arrivals are this node's sole chance to observe
+    # its own stream segment.  Summary/control/result messages keep the
+    # mesh's metadata coherent, and STATE_TRANSFER (priority 3, never a
+    # victim) is the recovery path itself.
+    _SHED_PRIORITY_REMOTE_TUPLE = 0
+    _SHED_PRIORITY_LOCAL = 1
+    _SHED_PRIORITY_CONTROL = 2
+    _SHED_PRIORITY_TRANSFER = 3
+
+    @classmethod
+    def _work_priority(cls, work: Tuple[str, object]) -> int:
+        kind, payload = work
+        if kind != "message":
+            return cls._SHED_PRIORITY_LOCAL
+        if payload.kind is MessageKind.STATE_TRANSFER:
+            return cls._SHED_PRIORITY_TRANSFER
+        if payload.kind is MessageKind.TUPLE:
+            return cls._SHED_PRIORITY_REMOTE_TUPLE
+        return cls._SHED_PRIORITY_CONTROL
+
+    def _admit_over_bound(self, work: Tuple[str, object]) -> None:
+        """The queue is at its bound: shed deterministically by priority.
+
+        The victim is the strictly lowest-priority queued entry, tail-most
+        among equals (the youngest low-value work loses first).  Incoming
+        work that does not outrank the victim is shed itself, so the queue
+        never exceeds ``queue_bound`` and admission is a pure function of
+        queue contents -- no RNG, no wall clock, engine-independent.
+        """
+        queue = self._queue
+        incoming = self._work_priority(work)
+        victim_index = 0
+        victim_priority: Optional[int] = None
+        for index in range(len(queue) - 1, -1, -1):
+            priority = self._work_priority(queue[index])
+            if victim_priority is None or priority < victim_priority:
+                victim_index = index
+                victim_priority = priority
+        if victim_priority is None or incoming <= victim_priority:
+            self._shed(work)
+        else:
+            victim = queue[victim_index]
+            del queue[victim_index]
+            self._shed(victim)
+            queue.append(work)
+
+    def _shed(self, work: Tuple[str, object]) -> None:
+        """Drop one unit of queued work, with honest accounting.
+
+        Shed local tuples are logged as ``shed`` accounting ops: the
+        ground-truth oracle still charges every result pair they would
+        have completed against live windows, so shedding degrades the
+        measured recall instead of quietly shrinking the denominator.
+        Shed remote work is already counted at its origin and only
+        decrements this node's side of the ledger.
+        """
+        kind, payload = work
+        now = self.scheduler.now
+        if kind == "local":
+            self._shed_local(payload, now)
+            count = 1
+        elif kind == "local_batch":
+            for raw_item in payload:
+                self._shed_local(raw_item, now)
+            count = len(payload)
+        else:
+            self.shed_messages += 1
+            count = 1
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "overload.shed",
+                category="overload",
+                node=self.node_id,
+                time=now,
+                kind=kind,
+                count=count,
+            )
+
+    def _shed_local(self, raw_item: StreamTuple, now: float) -> None:
+        item = raw_item.with_timestamp(now)
+        runtime = self._queries[item.query_id]
+        self.shed_tuples += 1
+        self._log_op(runtime, now, "shed", (item,))
+
+    def _observe_overload(self, queue_depth: int) -> None:
+        now = self.scheduler.now
+        for trigger, mode in self._overload_detector.observe(now, queue_depth):
+            self._on_mode_change(trigger, mode, queue_depth, now)
+
+    def _on_mode_change(
+        self, trigger: str, mode: DegradationMode, queue_depth: int, now: float
+    ) -> None:
+        """One degradation-ladder transition landed: apply its mechanics."""
+        stretch = (
+            1
+            if mode is DegradationMode.NORMAL
+            else self.overload_settings.throttle_refresh_stretch
+        )
+        for runtime in self._queries.values():
+            runtime.policy.set_refresh_stretch(stretch)
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "overload.mode",
+                category="overload",
+                node=self.node_id,
+                time=now,
+                trigger=trigger,
+                mode=mode.value,
+                queue_depth=queue_depth,
+            )
 
     def _start_next(self) -> None:
         if self._busy or not self._queue:
@@ -412,6 +549,13 @@ class JoinProcessingNode:
             items = len(payload) if kind == "local_batch" else 1
             with self.profiler.section("node.%s" % kind, items=items):
                 service_time = self._dispatch(kind, payload)
+        if self.fault_injector is not None:
+            # An active OVERLOAD fault stretches this node's service times
+            # (CPU contention / a slow collocated tenant); factor 1.0 --
+            # no fault covering this node -- is a bit-exact no-op.
+            factor = self.fault_injector.service_factor(self.node_id)
+            if factor != 1.0:
+                service_time *= factor
         self.busy_seconds += service_time
         if self.telemetry is not None:
             # The service time is known synchronously, so one complete
@@ -440,6 +584,11 @@ class JoinProcessingNode:
 
     def _finish_service(self) -> None:
         self._busy = False
+        if self._overload_detector is not None:
+            # The drain side of the hysteresis loop: arrivals can only
+            # escalate, so recovery has to be observed here, where the
+            # queue actually shrinks.
+            self._observe_overload(len(self._queue))
         self._start_next()
 
     @property
@@ -798,6 +947,12 @@ class JoinProcessingNode:
         self._queue.clear()
         self._pending_messages.clear()
         self._replay_log.clear()
+        # The queue the dead process measured died with it: a restarted
+        # node's peak depth and congestion throttle must reflect only
+        # what the new incarnation observes.
+        self.max_queue_depth = 0
+        for runtime in self._queries.values():
+            runtime.policy.reset_congestion()
         self._resync_claims = {}
         self._resync_bases = {}
         self._restored_watermark = None
@@ -1283,6 +1438,13 @@ class JoinProcessingNode:
     def _flush_stale_summaries(self, now: float) -> float:
         """Figure 7's standalone path: peers starved of tuples still get
         summary updates, after a dynamic multiple of the inter-arrival time."""
+        if self.degradation_ladder is not None and self.degradation_ladder.is_degraded:
+            # THROTTLED/SHEDDING suppress the standalone broadcast path
+            # outright: starved peers fall back on their last summaries
+            # (version guards make stale reads safe), and the uplink
+            # pauses saved go to draining the backlog instead.
+            self.suppressed_flushes += 1
+            return 0.0
         if self._mean_interarrival <= 0:
             return 0.0
         threshold = self.config.summary_flush_multiple * self._mean_interarrival
@@ -1387,6 +1549,13 @@ class JoinProcessingNode:
             counters["forced_broadcast_sends"] = float(self.forced_broadcast_sends)
             counters["suppressed_sends"] = float(self.suppressed_sends)
             counters["resyncs"] = float(self.resyncs)
+        if self.degradation_ladder is not None:
+            counters["shed_tuples"] = float(self.shed_tuples)
+            counters["shed_messages"] = float(self.shed_messages)
+            counters["suppressed_flushes"] = float(self.suppressed_flushes)
+            ladder_counters = self.degradation_ladder.counters(self.scheduler.now)
+            for key, value in ladder_counters.items():
+                counters["overload_" + key] = value
         if self.recovery_machine is not None:
             counters["restarts"] = float(self.restarts)
             counters["checkpoints_taken"] = float(self.checkpoints_taken)
@@ -1453,6 +1622,24 @@ class JoinProcessingNode:
             "recovery_triggers": (
                 [trigger for _, trigger, _ in self.recovery_machine.history]
                 if self.recovery_machine is not None
+                else None
+            ),
+            "shed_tuples": self.shed_tuples,
+            "shed_messages": self.shed_messages,
+            "suppressed_flushes": self.suppressed_flushes,
+            "degradation_mode": (
+                self.degradation_ladder.mode.value
+                if self.degradation_ladder is not None
+                else None
+            ),
+            "overload_residency": (
+                self.degradation_ladder.residency_seconds(self.scheduler.now)
+                if self.degradation_ladder is not None
+                else None
+            ),
+            "overload_transitions": (
+                len(self.degradation_ladder.history)
+                if self.degradation_ladder is not None
                 else None
             ),
         }

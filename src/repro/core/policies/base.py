@@ -128,6 +128,29 @@ class ForwardingPolicy(abc.ABC):
         if controller is not None:
             controller.observe_queue_depth(queue_depth)
 
+    def reset_congestion(self) -> None:
+        """Forget every queue-depth observation (crash soft-state wipe).
+
+        A restarting process boots with an empty service queue; carrying
+        the pre-crash congestion scale forward would throttle its first
+        post-restore decisions against a backlog that no longer exists.
+        """
+        self.congestion_scale = 1.0
+        controller = getattr(self, "flow", None)
+        if controller is not None:
+            controller.congestion_scale = 1.0
+
+    def set_refresh_stretch(self, stretch: int) -> None:
+        """Stretch (or restore) the summary refresh cadence.
+
+        Called by the overload ladder on mode transitions: while a node
+        is THROTTLED or SHEDDING its summaries recompute and broadcast
+        ``stretch`` times less often.  Policies without summary managers
+        (BASE, round-robin) have nothing to stretch.
+        """
+        for manager in getattr(self, "managers", {}).values():
+            manager.cadence_stretch = stretch
+
     def on_evictions(self, stream: StreamId, evicted: Sequence[StreamTuple]) -> None:
         """Tuples expired between arrivals (time windows only).
 

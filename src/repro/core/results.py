@@ -48,6 +48,11 @@ class RunResult:
     arrivals logged/replayed, restarts, clean vs degraded rejoins, rejoin
     latency).  Empty when recovery is disabled."""
 
+    overload: Dict[str, float] = field(default_factory=dict)
+    """Overload-protection counters (tuples/messages shed at nodes and
+    links, suppressed summary flushes, degradation-mode transitions and
+    per-mode residency).  Empty when overload protection is disabled."""
+
     profile: Dict[str, Dict[str, float]] = field(default_factory=dict)
     """Per-kernel wall/CPU accounting (calls, items, seconds, items/s)
     from the :class:`~repro.profiling.KernelProfiler` the run was handed.

@@ -201,6 +201,9 @@ class DftSummaryManager:
         self.stream = stream
         self.window_size = window_size
         self.refresh_interval = refresh_interval
+        self.cadence_stretch = 1
+        """Refresh-cadence multiplier (>= 1), set by the overload ladder
+        while the owning node is degraded; 1 is the normal cadence."""
         self.delta_tolerance = delta_tolerance
         self.outbox = outbox
         bins = low_frequency_bins(window_size, budget)
@@ -253,7 +256,7 @@ class DftSummaryManager:
         """Feed one locally-arrived attribute value through the summary."""
         self.dft.update(float(key))
         self._updates_since_refresh += 1
-        if self._updates_since_refresh >= self.refresh_interval:
+        if self._updates_since_refresh >= self.refresh_interval * self.cadence_stretch:
             self._updates_since_refresh = 0
             self.refresh()
 
@@ -268,15 +271,16 @@ class DftSummaryManager:
         """
         values = np.asarray(keys, dtype=np.float64).reshape(-1)
         start = 0
+        cadence = self.refresh_interval * self.cadence_stretch
         while start < values.size:
             take = min(
                 values.size - start,
-                self.refresh_interval - self._updates_since_refresh,
+                cadence - self._updates_since_refresh,
             )
             self.dft.extend(values[start : start + take])
             self._updates_since_refresh += take
             start += take
-            if self._updates_since_refresh >= self.refresh_interval:
+            if self._updates_since_refresh >= cadence:
                 self._updates_since_refresh = 0
                 self.refresh()
 
@@ -408,6 +412,9 @@ class SnapshotSummaryManager:
         self.window_size = window_size
         self.entries = entries
         self.refresh_interval = refresh_interval
+        self.cadence_stretch = 1
+        """Refresh-cadence multiplier (>= 1), set by the overload ladder
+        while the owning node is degraded; 1 is the normal cadence."""
         self.outbox = outbox
         self._snapshot_fn = snapshot_fn
         self._updates_since_refresh = 0
@@ -419,7 +426,7 @@ class SnapshotSummaryManager:
     def tick(self) -> Optional[SummaryUpdate]:
         """Count one local update; broadcast a snapshot at the cadence."""
         self._updates_since_refresh += 1
-        if self._updates_since_refresh < self.refresh_interval:
+        if self._updates_since_refresh < self.refresh_interval * self.cadence_stretch:
             return None
         self._updates_since_refresh = 0
         return self.refresh()

@@ -148,6 +148,11 @@ class DistributedJoinSystem:
         # its endpoints, independent of first-use order (and therefore of
         # execution engine).
         self.network.prepare(config.num_nodes)
+        if config.overload.enabled and config.overload.link_backlog_bound_s > 0.0:
+            # Wired before any link exists, so every lazily-created link
+            # picks the bound up; overload-off runs never touch it and
+            # links keep the unbounded legacy backlog.
+            self.network.link_backlog_bound_s = config.overload.link_backlog_bound_s
         if self.telemetry is not None:
             self.network.telemetry = self.telemetry
             # The registry-backed trace view: hub owns the ring, the
@@ -477,6 +482,12 @@ class DistributedJoinSystem:
             registry.gauge("repro_node_busy_seconds", node=node_id).set(
                 node.busy_seconds
             )
+            if node.degradation_ladder is not None:
+                # Overload-only series: registered lazily so a dark run's
+                # registry (and its export) is byte-identical to pre-overload.
+                registry.gauge("repro_node_shed_tuples", node=node_id).set(
+                    node.shed_tuples
+                )
         # TrafficStats stays the always-on accumulator; each tick
         # snapshots its cumulative counters into registry series.
         for name, labels, value in self.network.stats.iter_counters():
@@ -639,6 +650,30 @@ class DistributedJoinSystem:
                 )
                 recovery["rejoin_latency_max_s"] = max(rejoin_latencies)
             recovery["dead_letters"] = reliability.get("delivery_failures", 0.0)
+        overload: Dict[str, float] = {}
+        if self.config.overload.enabled:
+            overload = {
+                "shed_tuples": float(
+                    sum(record["shed_tuples"] for record in records)
+                ),
+                "shed_messages": float(
+                    sum(record["shed_messages"] for record in records)
+                ),
+                "suppressed_flushes": float(
+                    sum(record["suppressed_flushes"] for record in records)
+                ),
+                "link_messages_shed": float(self.network.total_messages_shed()),
+                "mode_transitions": float(
+                    sum(record["overload_transitions"] or 0 for record in records)
+                ),
+                "throttled_seconds": 0.0,
+                "shedding_seconds": 0.0,
+            }
+            for record in records:
+                residency = record["overload_residency"]
+                if residency:
+                    overload["throttled_seconds"] += residency["throttled"]
+                    overload["shedding_seconds"] += residency["shedding"]
         return RunResult(
             config=self.config.as_dict(),
             truth_pairs=sum(o.total_result_pairs for o in self.oracles),
@@ -660,6 +695,7 @@ class DistributedJoinSystem:
             reliability=reliability,
             faults=faults,
             recovery=recovery,
+            overload=overload,
             profile=self.profiler.snapshot() if self.profiler is not None else {},
             manifest=build_manifest(self.config),
             telemetry=self.telemetry.summary() if self.telemetry is not None else {},

@@ -187,6 +187,7 @@ class ShardedEngine(ExecutionEngine):
             link.messages_lost = 0
             link.bytes_sent = 0
             link.bytes_lost = 0
+            link.messages_shed = 0
         kind_order: Dict[str, tuple] = {}
         loss_order: Dict[str, tuple] = {}
         for fragment in fragments:
@@ -206,6 +207,7 @@ class ShardedEngine(ExecutionEngine):
                 link.bytes_sent += counters[1]
                 link.messages_lost += counters[2]
                 link.bytes_lost += counters[3]
+                link.messages_shed += counters[4]
         # Counter key order is first-occurrence order and reported dicts
         # (messages_by_kind) preserve it; rebuild serial's chronology.
         stats = network.stats

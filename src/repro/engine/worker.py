@@ -114,6 +114,7 @@ def _worker_loop(conn, config, shard, shards, env, profile) -> None:
             link.messages_lost = 0
             link.bytes_sent = 0
             link.bytes_lost = 0
+            link.messages_shed = 0
         if system.telemetry is not None:
             hub = system.telemetry
             hub._events.clear()

@@ -54,11 +54,14 @@ from repro.experiments.harness import (
 from repro.experiments.reporting import format_table
 from repro.net.faults import FaultEvent, FaultKind, FaultPlan
 from repro.net.reliable import ReliabilitySettings
+from repro.overload import OverloadSettings
 from repro.parallel import RunCache, RunRequest, run_many
 from repro.recovery.settings import RecoverySettings
 
-CHAOS_FORMAT_VERSION = 3
-"""Version 3 added the state-transfer columns (bytes, delta savings,
+CHAOS_FORMAT_VERSION = 4
+"""Version 4 added the overload axis (``over=F`` grid knob) and the
+shedding columns (tuples/messages shed, throttled/shedding residency).
+Version 3 added the state-transfer columns (bytes, delta savings,
 fallbacks) for the watermark-delta resync protocol."""
 
 WORST_CASE_EVENT = "policy.worst_case_mode"
@@ -73,17 +76,20 @@ WORST_CASE_EVENT = "policy.worst_case_mode"
 class ChaosLevel:
     """One fault intensity of the sweep.
 
-    The three knobs are the failure axes the sweep is graded on:
+    The four knobs are the failure axes the sweep is graded on:
     ``loss_probability`` drives a mesh-wide loss burst, ``partition_s``
-    cuts half the mesh off for that many seconds, and ``crash_count``
-    crashes that many nodes (staggered, highest ids first).  All zero
-    means the clean-WAN baseline cell.
+    cuts half the mesh off for that many seconds, ``crash_count``
+    crashes that many nodes (staggered, highest ids first), and
+    ``overload_factor`` stretches node 0's service times by that
+    multiple for the middle of the run (a CPU-contention surge).  All
+    zero means the clean-WAN baseline cell.
     """
 
     name: str
     loss_probability: float = 0.0
     partition_s: float = 0.0
     crash_count: int = 0
+    overload_factor: float = 0.0
 
     def validate(self) -> None:
         if not self.name or any(c in self.name for c in ";,@= \t"):
@@ -96,6 +102,10 @@ class ChaosLevel:
             raise ConfigurationError("partition duration must be non-negative")
         if self.crash_count < 0:
             raise ConfigurationError("crash count must be non-negative")
+        if self.overload_factor != 0.0 and self.overload_factor <= 1.0:
+            raise ConfigurationError(
+                "overload factor must exceed 1 (it multiplies service times)"
+            )
 
     @property
     def clean(self) -> bool:
@@ -103,6 +113,7 @@ class ChaosLevel:
             self.loss_probability == 0.0
             and self.partition_s == 0.0
             and self.crash_count == 0
+            and self.overload_factor == 0.0
         )
 
     @property
@@ -112,6 +123,7 @@ class ChaosLevel:
             self.loss_probability
             + self.partition_s / 10.0
             + float(self.crash_count)
+            + self.overload_factor / 10.0
         )
 
     def to_spec(self) -> str:
@@ -123,6 +135,8 @@ class ChaosLevel:
             parts.append("part=%r" % self.partition_s)
         if self.crash_count:
             parts.append("crash=%d" % self.crash_count)
+        if self.overload_factor:
+            parts.append("over=%r" % self.overload_factor)
         if not parts:
             return self.name
         return "%s@%s" % (self.name, ",".join(parts))
@@ -135,6 +149,7 @@ class ChaosLevel:
         loss = 0.0
         partition = 0.0
         crashes = 0
+        overload = 0.0
         for pair in filter(None, (p.strip() for p in arg_text.split(","))):
             key, eq, value = pair.partition("=")
             if not eq:
@@ -152,6 +167,8 @@ class ChaosLevel:
                     partition = float(value)
                 elif key in ("crash", "crashes"):
                     crashes = int(value)
+                elif key in ("over", "overload"):
+                    overload = float(value)
                 else:
                     raise ConfigurationError(
                         "unknown chaos argument %r in %r" % (key, chunk)
@@ -165,6 +182,7 @@ class ChaosLevel:
             loss_probability=loss,
             partition_s=partition,
             crash_count=crashes,
+            overload_factor=overload,
         )
         level.validate()
         return level
@@ -213,7 +231,10 @@ def build_fault_plan(
     * partition   -- first half of the mesh cut off at ``0.30 * span``,
       duration capped at half the span;
     * crashes     -- highest-id nodes, staggered starts from
-      ``0.55 * span``, each outage capped at a quarter of the span.
+      ``0.55 * span``, each outage capped at a quarter of the span;
+    * overload    -- node 0's service times stretched by
+      ``overload_factor`` over ``[0.25, 0.75) * span`` (node 0 so the
+      surge never coincides with a crashed node).
 
     ``restartable`` spells the crashes with ``downtime_s`` equal to the
     legacy crash duration, so the outage window is *identical* and the
@@ -255,6 +276,16 @@ def build_fault_plan(
                 duration_s=outage,
                 nodes=(num_nodes - 1 - index,),
                 downtime_s=outage if restartable else 0.0,
+            )
+        )
+    if level.overload_factor > 0:
+        events.append(
+            FaultEvent(
+                kind=FaultKind.OVERLOAD,
+                start_s=round(0.25 * span, 6),
+                duration_s=round(0.50 * span, 6),
+                nodes=(0,),
+                slowdown_factor=level.overload_factor,
             )
         )
     plan = FaultPlan.from_events(events)
@@ -315,6 +346,26 @@ class ChaosRow:
     transfer_fallbacks: float = 0.0
     """Delta resync responses downgraded to full snapshots because the
     serving peer's history no longer covered the claimed watermark."""
+
+    overload_factor: float = 0.0
+    """The level's service-time multiplier (0 = no overload fault)."""
+
+    overload_enabled: bool = False
+    """Whether the cell ran with overload protection armed."""
+
+    shed_tuples: float = 0.0
+    """Local arrivals dropped by node-level load shedding (still charged
+    against the ground truth -- shedding shows up as lost recall)."""
+
+    shed_messages: float = 0.0
+    """Queued remote messages dropped by node-level shedding plus
+    messages shed at bounded link send backlogs."""
+
+    throttled_seconds: float = 0.0
+    """Total node-seconds spent in THROTTLED across the mesh."""
+
+    shedding_seconds: float = 0.0
+    """Total node-seconds spent in SHEDDING across the mesh."""
 
     def as_dict(self) -> Dict[str, object]:
         return dataclasses.asdict(self)
@@ -392,6 +443,7 @@ def run(
     num_nodes: int = 0,
     reliability: Optional[ReliabilitySettings] = None,
     recovery: Optional[RecoverySettings] = None,
+    overload: Optional[OverloadSettings] = None,
     progress: Optional[Callable[[str], None]] = None,
     jobs: int = 0,
     cache: Optional[RunCache] = None,
@@ -410,6 +462,11 @@ def run(
     *restartable* crash with the same outage window and runs each cell
     with checkpoint/restart rejoin on -- the cells then also report
     restarts, replayed arrivals, and rejoin latency.
+
+    ``overload`` (enabled) arms every cell's overload protection --
+    bounded service queues, the degradation ladder, deterministic
+    shedding -- so ``over=F`` levels measure graceful degradation
+    instead of unbounded queue growth.
 
     ``jobs`` fans the cells over pool workers and ``cache`` skips cells
     already computed; rows come back in grid order either way, so the
@@ -432,6 +489,7 @@ def run(
         else ReliabilitySettings(enabled=True)
     )
     rejoin = recovery if recovery is not None and recovery.enabled else None
+    protection = overload if overload is not None and overload.enabled else None
     requests: List[RunRequest] = []
     cells: List[Tuple[Algorithm, ChaosLevel, FaultPlan]] = []
     for algorithm in algorithms:
@@ -446,6 +504,7 @@ def run(
                 faults=plan,
                 reliability=settings,
                 recovery=rejoin,
+                overload=protection,
                 telemetry=True,
                 trace_messages=False,
             )
@@ -470,6 +529,7 @@ def run(
         reliability_counters = result.reliability
         faults = result.faults
         recovery_counters = result.recovery
+        overload_counters = result.overload
         rows.append(
             ChaosRow(
                 scale=preset.name,
@@ -523,6 +583,19 @@ def run(
                 ),
                 transfer_fallbacks=float(
                     recovery_counters.get("state_transfer_fallbacks", 0.0)
+                ),
+                overload_factor=level.overload_factor,
+                overload_enabled=protection is not None,
+                shed_tuples=float(overload_counters.get("shed_tuples", 0.0)),
+                shed_messages=float(
+                    overload_counters.get("shed_messages", 0.0)
+                    + overload_counters.get("link_messages_shed", 0.0)
+                ),
+                throttled_seconds=float(
+                    overload_counters.get("throttled_seconds", 0.0)
+                ),
+                shedding_seconds=float(
+                    overload_counters.get("shedding_seconds", 0.0)
                 ),
             )
         )
@@ -599,6 +672,8 @@ def format_result(rows: Sequence[ChaosRow]) -> str:
             "xfer kB",
             "saved kB",
             "fallbk",
+            "shed",
+            "degr s",
         ],
         [
             (
@@ -621,6 +696,8 @@ def format_result(rows: Sequence[ChaosRow]) -> str:
                 row.state_transfer_bytes / 1000.0,
                 row.transfer_bytes_saved / 1000.0,
                 row.transfer_fallbacks,
+                row.shed_tuples + row.shed_messages,
+                row.throttled_seconds + row.shedding_seconds,
             )
             for row in rows
         ],
@@ -784,6 +861,20 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of watermark deltas (the pre-delta protocol)",
     )
     parser.add_argument(
+        "--overload",
+        action="store_true",
+        help="arm overload protection in every cell: bounded service "
+        "queues, the degradation ladder, deterministic shedding "
+        "(pairs with over=F grid levels)",
+    )
+    parser.add_argument(
+        "--queue-bound",
+        type=int,
+        default=0,
+        metavar="N",
+        help="per-node service-queue bound for --overload (default 64)",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=0,
@@ -844,6 +935,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             algorithms = COMPARED_ALGORITHMS
         progress = lambda text: print(text, file=sys.stderr)
         cache = None if args.no_cache else RunCache(args.cache_dir or None)
+        protection = None
+        if args.overload or args.queue_bound > 0:
+            protection = OverloadSettings.for_queue_bound(
+                args.queue_bound if args.queue_bound > 0 else 64
+            )
         comparison = ""
         if args.recovery:
             overrides = {"enabled": True}
@@ -857,6 +953,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 algorithms=algorithms,
                 grid=grid,
                 num_nodes=args.nodes,
+                overload=protection,
                 progress=lambda text: progress(text + " [no-recovery]"),
                 jobs=args.jobs,
                 cache=cache,
@@ -868,6 +965,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 grid=grid,
                 num_nodes=args.nodes,
                 recovery=rejoin,
+                overload=protection,
                 progress=lambda text: progress(text + " [recovery]"),
                 jobs=args.jobs,
                 cache=cache,
@@ -882,6 +980,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 algorithms=algorithms,
                 grid=grid,
                 num_nodes=args.nodes,
+                overload=protection,
                 progress=progress,
                 jobs=args.jobs,
                 cache=cache,

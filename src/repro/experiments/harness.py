@@ -29,6 +29,7 @@ from repro.core.flow import FlowSettings
 from repro.errors import ConfigurationError
 from repro.net.faults import FaultPlan
 from repro.net.reliable import ReliabilitySettings
+from repro.overload import OverloadSettings
 from repro.recovery.settings import RecoverySettings
 from repro.telemetry.settings import TelemetrySettings
 
@@ -126,6 +127,7 @@ def system_config(
     faults: Optional[FaultPlan] = None,
     reliability: Optional[ReliabilitySettings] = None,
     recovery: Optional[RecoverySettings] = None,
+    overload: Optional[OverloadSettings] = None,
 ) -> SystemConfig:
     """One experiment run's configuration, derived from a scale preset.
 
@@ -133,7 +135,8 @@ def system_config(
     chaos sweep threads a whole grid of plans through here); ``reliability``
     turns the control-plane ARQ / failure detector on for the run;
     ``recovery`` enables checkpoint/restart rejoin for crashed nodes (and
-    requires ``reliability``).  All default to the paper's clean-WAN
+    requires ``reliability``); ``overload`` bounds the service queues and
+    arms the degradation ladder.  All default to the paper's clean-WAN
     behaviour.
     """
     policy = PolicyConfig(
@@ -166,6 +169,8 @@ def system_config(
         config = dataclasses.replace(config, reliability=reliability)
     if recovery is not None:
         config = dataclasses.replace(config, recovery=recovery)
+    if overload is not None:
+        config = dataclasses.replace(config, overload=overload)
     return config
 
 

@@ -73,6 +73,26 @@ class GroundTruthOracle:
         self.observe_evictions(item.stream, evicted)
         return charge
 
+    def observe_shed(self, item: StreamTuple) -> int:
+        """Record a local arrival that load shedding dropped pre-window.
+
+        The tuple physically existed, so every pair it would have
+        completed against the currently-live windows belongs to Psi --
+        charging them keeps the error metric honest under overload
+        (shedding must show up as lost recall, not as a smaller truth
+        set).  The tuple never entered any window, so it is *not* added
+        to the live view: pairs where the shed tuple would have been the
+        *earlier* member are unknowable online and stay uncounted, making
+        the reported epsilon under shedding a lower bound.
+        """
+        other_ids = self._live_ids[item.stream.other].get(item.key, ())
+        for other_id in other_ids:
+            self._pairs.add(self._ordered_pair(item.stream, item.tuple_id, other_id))
+        charge = len(other_ids)
+        self.tuples_observed += 1
+        self.per_node_contribution[item.origin_node] += charge
+        return charge
+
     def observe_evictions(self, stream: StreamId, evicted: Iterable[StreamTuple]) -> None:
         """Remove expired tuples from the global view.
 

@@ -95,6 +95,9 @@ def replay_accounting(ops, oracles, collectors) -> None:
       collector classifies each against the oracle state *at replay
       position*, which is exactly the oracle state at that simulated
       moment.
+    * ``shed`` -- ``(item,)``: overload shedding dropped a local arrival
+      before it reached any window; the oracle still charges the pairs
+      it would have completed (honest accounting under degradation).
     """
     for op in sorted(ops, key=lambda op: (op[0], op[1], op[2])):
         time, _node, _seq, query_id, kind, payload = op
@@ -105,6 +108,9 @@ def replay_accounting(ops, oracles, collectors) -> None:
         elif kind == "evict":
             stream, expired = payload
             oracle.observe_evictions(stream, list(expired))
+        elif kind == "shed":
+            (item,) = payload
+            oracle.observe_shed(item)
         elif kind == "report":
             collector = collectors[query_id]
             for result in payload:

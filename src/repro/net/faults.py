@@ -10,7 +10,10 @@ EventScheduler` so the control loop's robustness can be measured:
 * **partition** -- a node group is cut off from the rest (both ways);
 * **latency spike** -- extra propagation delay (a gray failure);
 * **node crash/restart** -- a node goes dark: its local arrivals are
-  discarded and messages to or from it are dropped until it restarts.
+  discarded and messages to or from it are dropped until it restarts;
+* **overload** -- a node's service times are multiplied by a slowdown
+  factor (equivalently: its input surges past its capacity), exercising
+  the :mod:`repro.overload` degradation ladder.
 
 A :class:`FaultPlan` is a static, validated set of :class:`FaultEvent`
 windows -- pure data, no randomness -- so an identical seed plus an
@@ -41,6 +44,7 @@ class FaultKind(enum.Enum):
     PARTITION = "partition"
     LATENCY_SPIKE = "latency_spike"
     NODE_CRASH = "node_crash"
+    OVERLOAD = "overload"
 
 
 @dataclass(frozen=True)
@@ -64,6 +68,10 @@ class FaultEvent:
     outage lasts ``downtime_s`` (overriding ``duration_s``) and the node
     rejoins through the :mod:`repro.recovery` protocol instead of
     silently resuming with its pre-crash state."""
+
+    slowdown_factor: float = 0.0
+    """OVERLOAD only: multiplier (> 1) applied to the listed nodes'
+    service times while the window is active."""
 
     @property
     def restartable(self) -> bool:
@@ -93,6 +101,13 @@ class FaultEvent:
             raise ConfigurationError("LOSS_BURST requires loss_probability in (0, 1]")
         if self.kind is FaultKind.LATENCY_SPIKE and self.extra_latency_s <= 0:
             raise ConfigurationError("LATENCY_SPIKE requires extra_latency_s > 0")
+        if self.kind is FaultKind.OVERLOAD:
+            if not self.nodes:
+                raise ConfigurationError("OVERLOAD requires at least one node")
+            if self.slowdown_factor <= 1.0:
+                raise ConfigurationError("OVERLOAD requires slowdown_factor > 1")
+        elif self.slowdown_factor:
+            raise ConfigurationError("slowdown_factor is only valid for OVERLOAD")
         if self.downtime_s < 0:
             raise ConfigurationError("fault downtime_s must be non-negative")
         if self.downtime_s > 0 and self.kind is not FaultKind.NODE_CRASH:
@@ -123,6 +138,8 @@ class FaultEvent:
             return (source in self.nodes) != (destination in self.nodes)
         if self.kind is FaultKind.NODE_CRASH:
             return source in self.nodes or destination in self.nodes
+        if self.kind is FaultKind.OVERLOAD:
+            return False
         if not self.links:
             return True
         return (source, destination) in self.links
@@ -141,6 +158,8 @@ class FaultEvent:
             parts.append("p=%r" % self.loss_probability)
         if self.extra_latency_s:
             parts.append("extra=%r" % self.extra_latency_s)
+        if self.slowdown_factor:
+            parts.append("factor=%r" % self.slowdown_factor)
         return "%s@%s" % (self.kind.value, ",".join(parts))
 
     def as_dict(self) -> Dict[str, object]:
@@ -159,6 +178,8 @@ class FaultEvent:
             payload["extra_latency_s"] = self.extra_latency_s
         if self.downtime_s:
             payload["downtime_s"] = self.downtime_s
+        if self.slowdown_factor:
+            payload["slowdown_factor"] = self.slowdown_factor
         return payload
 
     @classmethod
@@ -179,6 +200,7 @@ class FaultEvent:
                 loss_probability=float(payload.get("loss_probability", 0.0)),
                 extra_latency_s=float(payload.get("extra_latency_s", 0.0)),
                 downtime_s=float(payload.get("downtime_s", 0.0)),
+                slowdown_factor=float(payload.get("slowdown_factor", 0.0)),
             )
         except (KeyError, TypeError, ValueError, IndexError) as error:
             raise ConfigurationError("malformed fault event %r: %s" % (payload, error))
@@ -246,7 +268,9 @@ class FaultPlan:
         * ``crash@t=10,node=2,downtime=5`` -- restartable crash: node 2
           is down 5 s, then rejoins via checkpoint recovery;
         * ``latency@t=5,d=3,extra=0.5`` -- +500 ms on every link;
-        * ``loss@t=5,d=3,p=0.3`` -- 30 % extra drop chance on every link.
+        * ``loss@t=5,d=3,p=0.3`` -- 30 % extra drop chance on every link;
+        * ``overload@t=5,d=3,node=2,factor=4`` -- node 2's service times
+          are 4x for 3 s (an arrival surge past its capacity).
         """
         events = []
         for chunk in spec.split(";"):
@@ -270,6 +294,7 @@ _SPEC_KINDS = {
     "latency_spike": FaultKind.LATENCY_SPIKE,
     "crash": FaultKind.NODE_CRASH,
     "node_crash": FaultKind.NODE_CRASH,
+    "overload": FaultKind.OVERLOAD,
 }
 
 _DEFAULT_DURATION_S = 5.0
@@ -300,6 +325,7 @@ def _parse_event_spec(chunk: str, num_nodes: Optional[int]) -> FaultEvent:
     loss = 0.0
     extra_latency = 0.0
     downtime = 0.0
+    factor = 0.0
     for pair in filter(None, (p.strip() for p in arg_text.split(","))):
         key, eq, value = pair.partition("=")
         if not eq:
@@ -324,6 +350,8 @@ def _parse_event_spec(chunk: str, num_nodes: Optional[int]) -> FaultEvent:
             extra_latency = _parse_seconds(value)
         elif key == "downtime":
             downtime = _parse_seconds(value)
+        elif key == "factor":
+            factor = _parse_float(value, chunk)
         else:
             raise ConfigurationError("unknown fault argument %r in %r" % (key, chunk))
     if start is None:
@@ -338,6 +366,8 @@ def _parse_event_spec(chunk: str, num_nodes: Optional[int]) -> FaultEvent:
         loss = 0.5
     if kind is FaultKind.LATENCY_SPIKE and extra_latency == 0.0:
         extra_latency = 0.5
+    if kind is FaultKind.OVERLOAD and factor == 0.0:
+        factor = 4.0
     event = FaultEvent(
         kind=kind,
         start_s=start,
@@ -347,6 +377,7 @@ def _parse_event_spec(chunk: str, num_nodes: Optional[int]) -> FaultEvent:
         loss_probability=loss,
         extra_latency_s=extra_latency,
         downtime_s=downtime,
+        slowdown_factor=factor,
     )
     event.validate(num_nodes)
     return event
@@ -471,6 +502,18 @@ class FaultInjector:
             ):
                 survival *= 1.0 - event.loss_probability
         return 1.0 - survival
+
+    def service_factor(self, node_id: int) -> float:
+        """Multiplier currently applied to ``node_id``'s service times.
+
+        The product over active OVERLOAD windows covering the node;
+        1.0 when none are active.
+        """
+        factor = 1.0
+        for event in self._active:
+            if event.kind is FaultKind.OVERLOAD and node_id in event.nodes:
+                factor *= event.slowdown_factor
+        return factor
 
     def extra_latency(self, source: int, destination: int) -> float:
         """Additional propagation delay currently applied to the link."""

@@ -99,7 +99,15 @@ class Link:
         self.messages_lost = 0
         self.bytes_sent = 0
         self.bytes_lost = 0
+        self.messages_shed = 0
         self.busy_seconds = 0.0
+        self.backlog_bound_s = 0.0
+        """Send-backlog cap in seconds of serialization delay; a message
+        arriving while the backlog is at or past the cap is shed at the
+        send buffer -- it never serializes (the sender pays nothing and
+        ``_free_at`` does not advance).  0 (the default) is unbounded,
+        the legacy semantics.  Set by the system from
+        :class:`~repro.overload.OverloadSettings`."""
         self.key_source = None
         """Optional :class:`~repro.net.simulator.EventKeySource` minting
         deterministic arrival-event keys (the Network assigns one per
@@ -141,6 +149,17 @@ class Link:
         throughput experiments measure.
         """
         now = self._scheduler.now
+        if (
+            self.backlog_bound_s > 0.0
+            and self._free_at - now >= self.backlog_bound_s
+        ):
+            # Shed before serialization *and* before any RNG draw, so a
+            # bounded link's jitter/loss streams stay pure functions of
+            # the messages that actually occupy it.
+            self.messages_shed += 1
+            message.created_at = now
+            self._drop(message)
+            return now
         tx_time = self.transmission_time(message)
         depart = max(now, self._free_at) + tx_time
         self.busy_seconds += tx_time

@@ -60,6 +60,11 @@ class Network:
         self._num_nodes: Optional[int] = None
         self._link_rngs: Dict[Tuple[int, int], np.random.Generator] = {}
 
+        self.link_backlog_bound_s = 0.0
+        """Per-link send-backlog cap applied to every link created after
+        assignment (the system wires it before any link exists); 0 keeps
+        backlogs unbounded.  See :class:`~repro.overload.OverloadSettings`."""
+
         self.link_router_factory: Optional[
             Callable[[int, int], Optional[Callable[..., bool]]]
         ] = None
@@ -146,6 +151,7 @@ class Network:
                 on_drop=self._record_loss,
                 on_deliver=self._record_delivery,
             )
+            link.backlog_bound_s = self.link_backlog_bound_s
             if self._num_nodes is not None:
                 link.key_source = EventKeySource(
                     self._num_nodes + source * self._num_nodes + destination
@@ -210,8 +216,9 @@ class Network:
         """
         return iter(sorted(self._links.items()))
 
-    def link_stats(self) -> Dict[Tuple[int, int], Tuple[int, int, int, int]]:
-        """Per-directed-link ``(messages, bytes, messages_lost, bytes_lost)``.
+    def link_stats(self) -> Dict[Tuple[int, int], Tuple[int, int, int, int, int]]:
+        """Per-directed-link ``(messages, bytes, messages_lost, bytes_lost,
+        messages_shed)``.
 
         Only links that have carried traffic appear (links are lazy).
         The analysis helpers build traffic matrices from this.
@@ -222,9 +229,14 @@ class Network:
                 link.bytes_sent,
                 link.messages_lost,
                 link.bytes_lost,
+                link.messages_shed,
             )
             for pair, link in self._links.items()
         }
+
+    def total_messages_shed(self) -> int:
+        """Messages shed at bounded send backlogs, across all links."""
+        return sum(link.messages_shed for link in self._links.values())
 
     def unshipped_count(self) -> int:
         """Scheduled deliveries not yet in any event queue.

@@ -1,0 +1,13 @@
+"""Overload protection: bounded queues, deterministic shedding, and the
+graceful-degradation ladder.  See ``docs/overload.md``."""
+
+from repro.overload.detector import OverloadDetector
+from repro.overload.ladder import DegradationLadder, DegradationMode
+from repro.overload.settings import OverloadSettings
+
+__all__ = [
+    "DegradationLadder",
+    "DegradationMode",
+    "OverloadDetector",
+    "OverloadSettings",
+]

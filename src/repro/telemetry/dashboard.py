@@ -91,26 +91,37 @@ class AsciiDashboard:
                 system.scheduler.pending,
             )
         )
-        out.append(
-            "%-5s %9s %9s %6s %9s  %s"
-            % ("node", "tuples", "tuples/s", "queue", "busy_s", "load")
+        # The mode column appears only when overload protection is on, so
+        # legacy (protection-off) frames stay byte-identical.
+        show_modes = any(
+            node.degradation_ladder is not None for node in system.nodes
         )
+        header = "%-5s %9s %9s %6s %9s" % (
+            "node",
+            "tuples",
+            "tuples/s",
+            "queue",
+            "busy_s",
+        )
+        if show_modes:
+            header += " %-9s" % "mode"
+        out.append(header + "  load")
         span = max(now, 1e-9)
         for node in system.nodes:
             previous = self._last_tuples.get(node.node_id, 0)
             rate = (node.tuples_processed - previous) / elapsed
             self._last_tuples[node.node_id] = node.tuples_processed
-            out.append(
-                "%-5d %9d %9.1f %6d %9.2f  %s"
-                % (
-                    node.node_id,
-                    node.tuples_processed,
-                    rate if self.frames_rendered else 0.0,
-                    node.queue_depth,
-                    node.busy_seconds,
-                    _bar(node.busy_seconds / span),
-                )
+            row = "%-5d %9d %9.1f %6d %9.2f" % (
+                node.node_id,
+                node.tuples_processed,
+                rate if self.frames_rendered else 0.0,
+                node.queue_depth,
+                node.busy_seconds,
             )
+            if show_modes:
+                ladder = node.degradation_ladder
+                row += " %-9s" % (ladder.mode.value if ladder is not None else "-")
+            out.append(row + "  " + _bar(node.busy_seconds / span))
         links = self._busiest_links(count=5)
         if links:
             out.append("%-9s %9s %11s %9s" % ("link", "msgs", "bytes", "backlog_s"))

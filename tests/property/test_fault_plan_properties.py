@@ -53,7 +53,28 @@ def fault_events(draw):
     loss = 0.0
     extra = 0.0
     downtime = 0.0
-    if kind is FaultKind.NODE_CRASH:
+    slowdown = 0.0
+    if kind is FaultKind.OVERLOAD:
+        slowdown = draw(
+            st.floats(
+                min_value=1.001,
+                max_value=1000.0,
+                allow_nan=False,
+                allow_infinity=False,
+            )
+        )
+        nodes = tuple(
+            sorted(
+                draw(
+                    st.sets(
+                        st.integers(min_value=0, max_value=NUM_NODES - 1),
+                        min_size=1,
+                        max_size=NUM_NODES,
+                    )
+                )
+            )
+        )
+    elif kind is FaultKind.NODE_CRASH:
         downtime = draw(st.one_of(st.just(0.0), positive_seconds))
         nodes = tuple(
             sorted(
@@ -99,6 +120,7 @@ def fault_events(draw):
         loss_probability=loss,
         extra_latency_s=extra,
         downtime_s=downtime,
+        slowdown_factor=slowdown,
     )
     event.validate(NUM_NODES)
     return event
@@ -171,6 +193,11 @@ INVALID_SPECS = [
     "crash@t=1,d=1 node=1",  # missing '=' separator
     "crash@t=1,d=1,node=1,downtime=-2",  # negative downtime
     "loss@t=1,d=1,p=0.5,downtime=2",  # downtime is crash-only
+    "overload@t=1,d=1,factor=8",  # overload without a node
+    "overload@t=1,d=1,node=0,factor=1",  # factor must exceed 1
+    "overload@t=1,d=1,node=0,factor=0.5",  # sub-unit factor
+    "overload@t=1,d=1,node=0,factor=fast",  # non-numeric factor
+    "crash@t=1,d=1,node=0,factor=2",  # factor is overload-only
 ]
 
 

@@ -108,6 +108,36 @@ class TestChaosLevel:
         with pytest.raises(ConfigurationError):
             parse_grid(" ; ")
 
+    def test_parse_overload_knob(self):
+        level = ChaosLevel.parse("surge@over=8")
+        assert level.overload_factor == 8.0
+        assert not level.clean
+        assert ChaosLevel.parse(level.to_spec()) == level
+
+    def test_overload_knob_composes_with_others(self):
+        level = ChaosLevel.parse("storm@loss=0.2,over=4,crash=1")
+        assert level == ChaosLevel("storm", 0.2, 0.0, 1, overload_factor=4.0)
+        assert ChaosLevel.parse(level.to_spec()) == level
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "surge@over=1",  # factor must exceed 1
+            "surge@over=0.5",  # sub-unit slowdown
+            "surge@over=-2",  # negative factor
+            "surge@over=slow",  # unparsable number
+        ],
+    )
+    def test_invalid_overload_factor_raises(self, spec):
+        with pytest.raises(ConfigurationError):
+            ChaosLevel.parse(spec)
+
+    def test_overload_raises_intensity(self):
+        assert (
+            ChaosLevel.parse("surge@over=8").intensity
+            > ChaosLevel.parse("clean").intensity
+        )
+
 
 class TestFaultPlanBuilder:
     def test_clean_level_builds_empty_plan(self):
@@ -146,6 +176,17 @@ class TestFaultPlanBuilder:
         plan = build_fault_plan(ChaosLevel("split", partition_s=10_000.0), scale, 4)
         (partition,) = plan.events
         assert partition.duration_s <= 0.5 * span + 1e-9
+
+    def test_overload_level_builds_overload_event_on_node_zero(self):
+        scale = get_scale("smoke")
+        plan = build_fault_plan(ChaosLevel("surge", overload_factor=8.0), scale, 4)
+        (event,) = plan.events
+        assert event.kind is FaultKind.OVERLOAD
+        assert event.nodes == (0,)  # crashes target the highest ids
+        assert event.slowdown_factor == 8.0
+        span = scale.total_tuples / scale.arrival_rate
+        assert event.start_s == pytest.approx(0.25 * span, rel=1e-4)
+        assert event.duration_s == pytest.approx(0.50 * span, rel=1e-4)
 
     def test_too_many_crashes_rejected(self):
         with pytest.raises(ConfigurationError):

@@ -66,6 +66,72 @@ def test_fifo_serialization_backlog():
     assert delivered == [first, second]
 
 
+def test_backlog_bound_sheds_at_the_send_buffer():
+    delivered = []
+    dropped = []
+    spec = LinkSpec(latency_min_s=0.0, latency_max_s=0.0)
+    scheduler = EventScheduler()
+    link = Link(
+        scheduler,
+        spec,
+        deliver=delivered.append,
+        rng=np.random.default_rng(7),
+        on_drop=dropped.append,
+    )
+    first = _tuple_message()
+    tx = link.transmission_time(first)
+    link.backlog_bound_s = 1.5 * tx
+    link.send(first)
+    second = _tuple_message()
+    link.send(second)  # backlog == tx < bound: still admitted
+    third = _tuple_message()
+    link.send(third)  # backlog == 2*tx >= bound: shed
+    assert link.messages_shed == 1
+    assert dropped == [third]
+    scheduler.run()
+    assert delivered == [first, second]
+    # Shed messages count as losses with byte accounting.
+    assert link.messages_lost == 1
+    assert link.bytes_lost == third.size_bytes()
+
+
+def test_backlog_bound_zero_keeps_unbounded_legacy_backlog():
+    delivered = []
+    spec = LinkSpec(latency_min_s=0.0, latency_max_s=0.0)
+    scheduler, link = _make_link(spec, delivered)
+    messages = [_tuple_message() for _ in range(50)]
+    for message in messages:
+        link.send(message)
+    assert link.messages_shed == 0
+    scheduler.run()
+    assert delivered == messages
+
+
+def test_shedding_does_not_perturb_the_latency_stream():
+    """A bounded link's jitter draws are a pure function of the messages
+    that actually occupy it -- shed sends consume no RNG."""
+    spec = LinkSpec(latency_min_s=0.01, latency_max_s=0.2)
+
+    def arrivals(extra_burst):
+        delivered = []
+        scheduler = EventScheduler()
+        link = Link(
+            scheduler, spec, deliver=delivered.append, rng=np.random.default_rng(7)
+        )
+        first = _tuple_message()
+        link.backlog_bound_s = 1.5 * link.transmission_time(first)
+        times = [link.send(first), link.send(_tuple_message())]
+        if extra_burst:
+            for _ in range(5):
+                link.send(_tuple_message())  # all shed at the bound
+        scheduler.run()
+        return times
+
+    burst = arrivals(extra_burst=True)
+    quiet = arrivals(extra_burst=False)
+    assert burst == quiet
+
+
 def test_latency_sampled_within_range():
     delivered = []
     spec = LinkSpec(latency_min_s=0.02, latency_max_s=0.1)

@@ -17,7 +17,7 @@ from repro.streams.tuples import StreamId, StreamTuple
 import numpy as np
 
 
-def build_pair(algorithm=Algorithm.BASE, window=8, latency=0.0):
+def build_pair(algorithm=Algorithm.BASE, window=8, latency=0.0, recovery=None):
     """Two nodes wired through a latency-only network."""
     config = SystemConfig(
         num_nodes=2,
@@ -28,6 +28,8 @@ def build_pair(algorithm=Algorithm.BASE, window=8, latency=0.0):
             bandwidth_bps=math.inf, latency_min_s=latency, latency_max_s=latency
         ),
     )
+    if recovery is not None:
+        config = config.with_overrides(recovery=recovery)
     scheduler = EventScheduler()
     network = Network(scheduler, spec=config.link, rng=np.random.default_rng(0))
     oracle = GroundTruthOracle()
@@ -50,6 +52,7 @@ def build_pair(algorithm=Algorithm.BASE, window=8, latency=0.0):
             policy=make_policy(context, {}),
             oracle=oracle,
             collector=collector,
+            recovery=recovery,
         )
         network.register(node_id, node)
         nodes.append(node)
@@ -118,6 +121,27 @@ def test_queue_serializes_processing():
     scheduler.run()
     assert nodes[0].tuples_processed == 5
     assert nodes[0].max_queue_depth >= 4
+
+
+def test_crash_wipes_queue_depth_and_congestion_soft_state():
+    from repro.recovery import RecoverySettings
+
+    scheduler, _, _, _, nodes = build_pair(
+        recovery=RecoverySettings(enabled=True)
+    )
+    node = nodes[0]
+    for index in range(5):
+        node.on_local_arrival(make_tuple(StreamId.R, index + 1, 0, index))
+    assert node.max_queue_depth >= 4
+    for runtime in node._queries.values():
+        # Stand in for an adaptive-flow observation under backlog.
+        runtime.policy.congestion_scale = 0.25
+    node.on_crash()
+    # The dead process's peak depth and throttle observations die with it.
+    assert node.max_queue_depth == 0
+    assert node.queue_depth == 0
+    for runtime in node._queries.values():
+        assert runtime.policy.congestion_scale == 1.0
 
 
 def test_remote_tuples_counted():
